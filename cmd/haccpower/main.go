@@ -1,0 +1,132 @@
+// Command haccpower analyzes particle snapshots written by haccsim: it
+// merges per-rank snapshot files, measures the matter power spectrum, the
+// two-point correlation function, and the FOF halo mass function — the
+// §V statistics pipeline, decoupled from the simulation run.
+//
+// Usage:
+//
+//	haccpower -snap run.hacc [-ranks 8] [-bins 16] [-fof 0.2]
+//
+// reads run.hacc, run.hacc.1, …, run.hacc.(ranks-1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hacc/internal/analysis"
+	"hacc/internal/cosmology"
+	"hacc/internal/domain"
+	"hacc/internal/grid"
+	"hacc/internal/mpi"
+	"hacc/internal/snapshot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("haccpower: ")
+	var (
+		snapPath = flag.String("snap", "", "snapshot base path (required)")
+		ranks    = flag.Int("ranks", 1, "number of per-rank snapshot files")
+		bins     = flag.Int("bins", 16, "power spectrum bins")
+		fofB     = flag.Float64("fof", 0.2, "FOF linking length (fraction of mean spacing); 0 disables")
+		shot     = flag.Bool("shot", true, "subtract Poisson shot noise from P(k)")
+	)
+	flag.Parse()
+	if *snapPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var header snapshot.Header
+	merged := &domain.Particles{}
+	for r := 0; r < *ranks; r++ {
+		path := *snapPath
+		if r > 0 {
+			path = fmt.Sprintf("%s.%d", *snapPath, r)
+		}
+		h, p, err := snapshot.LoadFile(path)
+		if err != nil {
+			log.Fatalf("reading %s: %v", path, err)
+		}
+		if r == 0 {
+			header = h
+		} else if h.NGrid != header.NGrid || h.BoxMpc != header.BoxMpc {
+			log.Fatalf("%s: inconsistent header (grid %d box %g)", path, h.NGrid, h.BoxMpc)
+		}
+		for i := 0; i < p.Len(); i++ {
+			merged.AppendFrom(p, i)
+		}
+	}
+	log.Printf("loaded %d particles, grid %d³, box %.0f Mpc/h, a=%.4f (z=%.2f)",
+		merged.Len(), header.NGrid, header.BoxMpc, header.A, 1/header.A-1)
+
+	ng := int(header.NGrid)
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		dec := grid.NewDecomp([3]int{ng, ng, ng}, 1)
+		dom := domain.New(c, dec, 3)
+		dom.Active = *merged
+		dom.Migrate()
+
+		ps := analysis.MeasurePower(c, dec, dom, header.BoxMpc, *bins, *shot)
+		fmt.Printf("\npower spectrum:\n%-12s %-14s %s\n", "k [h/Mpc]", "P(k)", "modes")
+		for i, k := range ps.K {
+			fmt.Printf("%-12.4f %-14.4e %d\n", k, ps.P[i], ps.NModes[i])
+		}
+		fmt.Printf("(shot noise level: %.3e)\n", ps.ShotNoise)
+
+		radii := []float64{2, 5, 10, 20, 40, 80, 105, 130}
+		var usable []float64
+		for _, r := range radii {
+			if r < header.BoxMpc/3 {
+				usable = append(usable, r)
+			}
+		}
+		xi := analysis.CorrelationFromPower(ps, usable)
+		fmt.Printf("\ncorrelation function:\n%-12s %s\n", "r [Mpc/h]", "ξ(r)")
+		for i, r := range usable {
+			fmt.Printf("%-12.1f %.4e\n", r, xi[i])
+		}
+
+		if *fofB > 0 {
+			dom.Refresh()
+			params := cosmology.Default()
+			if header.OmegaM > 0 {
+				params.OmegaM = header.OmegaM
+				params.OmegaL = 1 - header.OmegaM
+			}
+			np := int(float64(merged.Len()) + 0.5)
+			npDim := cbrtInt(np)
+			mp := params.ParticleMass(npDim, header.BoxMpc)
+			spacing := float64(ng) / float64(npDim)
+			halos := analysis.FindHalos(dom, dec, *fofB*spacing, 10, mp)
+			fmt.Printf("\nFOF halos (b=%.2f, ≥10 particles): %d\n", *fofB, len(halos))
+			for i, h := range halos {
+				if i >= 5 {
+					fmt.Printf("  … %d more\n", len(halos)-5)
+					break
+				}
+				fmt.Printf("  halo %d: %d particles, M=%.2e Msun/h, center (%.1f,%.1f,%.1f)\n",
+					i, h.N, h.Mass, h.X, h.Y, h.Z)
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// cbrtInt returns the integer cube root of n (assuming n is a perfect cube
+// or near one).
+func cbrtInt(n int) int {
+	r := 1
+	for r*r*r < n {
+		r++
+	}
+	if r*r*r > n && (r-1)*(r-1)*(r-1) >= n-3*r*r {
+		r--
+	}
+	return r
+}

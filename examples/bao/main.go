@@ -1,0 +1,72 @@
+// BAO: the paper motivates HACC with baryon acoustic oscillation surveys
+// (BOSS predictions ran on Roadrunner, §I). This example evolves a box with
+// the full Eisenstein-Hu transfer function — acoustic wiggles included —
+// using the Roadrunner-style P3M backend, and prints the measured P(k)
+// against the no-wiggle spectrum so the BAO feature is visible as an
+// oscillating ratio.
+//
+//	go run ./examples/bao
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hacc/internal/core"
+	"hacc/internal/cosmology"
+	"hacc/internal/mpi"
+)
+
+func main() {
+	const ranks = 4
+	params := cosmology.Default()
+	smooth := cosmology.NewLinearPower(params, cosmology.EisensteinHuNoWiggle(params))
+	err := mpi.Run(ranks, func(c *mpi.Comm) {
+		sim, err := core.New(c, core.Config{
+			NGrid:      48,
+			NParticles: 48,
+			BoxMpc:     900, // large box: BAO scale ~105 Mpc/h must fit several times
+			Transfer:   "eh",
+			ZInit:      24,
+			ZFinal:     0.5,
+			Steps:      10,
+			SubCycles:  3,
+			Seed:       1234,
+			FixedAmp:   true, // suppress realization noise around the wiggles
+			Solver:     core.P3M,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.Run(nil); err != nil {
+			log.Fatal(err)
+		}
+		ps := sim.PowerSpectrum(20, false)
+		if c.Rank() != 0 {
+			return
+		}
+		d := sim.LP.Gfac.D(sim.A)
+		fmt.Printf("BAO box at z=%.2f (%d ranks, P3M backend)\n\n", sim.Z(), ranks)
+		fmt.Printf("%-12s %-14s %-14s %s\n", "k [h/Mpc]", "P(k) sim", "no-wiggle lin", "ratio (BAO feature)")
+		for i, k := range ps.K {
+			if k > 0.25 {
+				break
+			}
+			ref := d * d * smooth.P(k)
+			fmt.Printf("%-12.4f %-14.4e %-14.4e %.3f\n", k, ps.P[i], ref, ps.P[i]/ref)
+		}
+		fmt.Println("\nthe ratio oscillates around ~1 with the acoustic phase — compare")
+		fmt.Println("the same ratio computed purely from linear theory:")
+		full := sim.LP
+		for i, k := range ps.K {
+			if k > 0.25 {
+				break
+			}
+			fmt.Printf("%-12.4f linear ratio %.3f\n", k, full.P(k)/smooth.P(k))
+			_ = i
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

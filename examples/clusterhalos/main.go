@@ -1,0 +1,84 @@
+// Cluster halos: §V uses cluster abundance as a dark-energy probe. This
+// example evolves a box to z=0.5, finds FOF halos and the sub-halo
+// decomposition of the most massive one (Fig. 11), and prints the measured
+// mass function against the Sheth-Tormen and Press-Schechter predictions.
+//
+//	go run ./examples/clusterhalos
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"hacc"
+	"hacc/internal/analysis"
+	"hacc/internal/cosmology"
+	"hacc/internal/mpi"
+)
+
+func main() {
+	const ranks = 4
+	err := hacc.RunParallel(ranks, func(c *hacc.Comm) {
+		sim, err := hacc.NewSimulation(c, hacc.Config{
+			NGrid:      40,
+			NParticles: 40,
+			BoxMpc:     120,
+			ZInit:      24,
+			ZFinal:     0.5,
+			Steps:      14,
+			SubCycles:  4,
+			Seed:       7,
+			Solver:     hacc.PPTreePM,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.Run(nil); err != nil {
+			log.Fatal(err)
+		}
+		halos := sim.FindHalos(0.2, 10)
+		sort.Slice(halos, func(i, j int) bool { return halos[i].N > halos[j].N })
+		nTot := mpi.AllReduce(c, []int{len(halos)}, mpi.SumInt)[0]
+
+		vol := sim.Cfg.BoxMpc * sim.Cfg.BoxMpc * sim.Cfg.BoxMpc
+		mMin, mMax := 9*sim.ParticleMassMsun, 2000*sim.ParticleMassMsun
+		mb, dn := analysis.MassFunctionBins(c, halos, vol, mMin, mMax, 7)
+
+		// Sub-halo decomposition of this rank's largest halo.
+		var subReport string
+		if len(halos) > 0 {
+			x := append(append([]float32{}, sim.Dom.Active.X...), sim.Dom.Passive.X...)
+			y := append(append([]float32{}, sim.Dom.Active.Y...), sim.Dom.Passive.Y...)
+			z := append(append([]float32{}, sim.Dom.Active.Z...), sim.Dom.Passive.Z...)
+			subs := analysis.FindSubhalos(x, y, z, halos[0].Members,
+				analysis.SubhaloOptions{LinkRadius: 0.25, MinN: 8})
+			subReport = fmt.Sprintf("rank %d: largest halo %d particles, %d sub-halos:",
+				c.Rank(), halos[0].N, len(subs))
+			for _, s := range subs {
+				subReport += fmt.Sprintf(" %d", s.N)
+			}
+		}
+		reports := mpi.Gather(c, 0, []byte(subReport+"\n"))
+		if c.Rank() != 0 {
+			return
+		}
+		fmt.Printf("found %d halos (FOF b=0.2, ≥10 particles) at z=%.2f\n", nTot, sim.Z())
+		fmt.Printf("particle mass %.2e Msun/h\n\n", sim.ParticleMassMsun)
+		fmt.Print(string(reports))
+
+		mf := cosmology.NewMassFunction(sim.LP)
+		fmt.Printf("\n%-12s %-13s %-13s %-13s\n", "M [Msun/h]", "dn/dlnM sim", "Sheth-Tormen", "Press-Schechter")
+		for i := range mb {
+			st := mf.DnDlnM(mb[i], sim.A, cosmology.ShethTormen)
+			psn := mf.DnDlnM(mb[i], sim.A, cosmology.PressSchechter)
+			fmt.Printf("%-12.2e %-13.3e %-13.3e %-13.3e\n", mb[i], dn[i], st, psn)
+		}
+		fmt.Println("\nexpect the simulated function to track Sheth-Tormen within the")
+		fmt.Println("(large, small-box) sample variance, and to exceed Press-Schechter")
+		fmt.Println("at the high-mass end — the §V cluster-abundance signature.")
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package hacc is a from-scratch Go reproduction of HACC, the
+// Hybrid/Hardware Accelerated Cosmology Code of Habib et al., "The Universe
+// at Extreme Scale: Multi-Petaflop Sky Simulation on the BG/Q" (SC 2012,
+// arXiv:1211.4864).
+//
+// The package re-exports the public surface of the framework. A minimal
+// simulation looks like:
+//
+//	err := hacc.RunParallel(8, func(c *hacc.Comm) {
+//		sim, err := hacc.NewSimulation(c, hacc.Config{
+//			NGrid: 64, NParticles: 64, BoxMpc: 250,
+//			ZInit: 50, ZFinal: 0, Steps: 20,
+//			Solver: hacc.PPTreePM, Seed: 42,
+//		})
+//		if err != nil { panic(err) }
+//		if err := sim.Run(nil); err != nil { panic(err) }
+//		ps := sim.PowerSpectrum(32, true)
+//		_ = ps
+//	})
+//
+// Architecture (one package per subsystem, see DESIGN.md):
+//
+//   - internal/mpi        — in-process message-passing runtime (ranks are
+//     goroutines; real collective algorithms)
+//   - internal/fft        — mixed-radix + Bluestein complex FFT
+//   - internal/pfft       — distributed slab/pencil 3-D FFT (paper §IV-A)
+//   - internal/grid       — block-decomposed fields, ghost exchange, CIC
+//   - internal/spectral   — filtered Poisson solver: eq. (5) filter,
+//     6th-order influence function, Super-Lanczos gradients (§II)
+//   - internal/domain     — SOA particles, migration, overloading (Fig. 4)
+//   - internal/tree       — rank-local RCB tree, fat leaves (§III)
+//   - internal/shortrange — f_SR(s) kernel, grid-force fit, P3M backend
+//   - internal/timestep   — SKS symplectic sub-cycled stepper (eq. 6)
+//   - internal/ic         — Zel'dovich Gaussian random field ICs
+//   - internal/cosmology  — background, growth, transfer functions, σ8
+//   - internal/analysis   — P(k), FOF halos, sub-halos, density statistics
+//   - internal/machine    — flop accounting, BG/Q projection model
+//   - internal/core       — the assembled framework
+package hacc
+
+import (
+	"hacc/internal/analysis"
+	"hacc/internal/core"
+	"hacc/internal/cosmology"
+	"hacc/internal/mpi"
+)
+
+// Comm is a communicator handle for one simulated MPI rank.
+type Comm = mpi.Comm
+
+// Config specifies a simulation; zero fields take defaults.
+type Config = core.Config
+
+// Simulation is a running HACC simulation (one rank's view).
+type Simulation = core.Simulation
+
+// SolverKind selects the short-range force backend.
+type SolverKind = core.SolverKind
+
+// Short-range backends: the BG/Q tree configuration, the Roadrunner P3M
+// configuration, and the long-range-only mode.
+const (
+	PPTreePM = core.PPTreePM
+	P3M      = core.P3M
+	PMOnly   = core.PMOnly
+)
+
+// CosmologyParams specifies the background cosmological model.
+type CosmologyParams = cosmology.Params
+
+// PowerSpectrum is a binned P(k) measurement.
+type PowerSpectrum = analysis.PowerSpectrum
+
+// Halo is a friends-of-friends group.
+type Halo = analysis.Halo
+
+// RunParallel launches fn on n simulated MPI ranks and waits for all of
+// them. Each rank must construct its Simulation collectively.
+func RunParallel(n int, fn func(c *Comm)) error { return mpi.Run(n, fn) }
+
+// NewSimulation builds a simulation on the calling rank (collective).
+func NewSimulation(c *Comm, cfg Config) (*Simulation, error) { return core.New(c, cfg) }
+
+// DefaultCosmology returns the WMAP-7-like parameters of the paper's runs.
+func DefaultCosmology() CosmologyParams { return cosmology.Default() }

@@ -1,0 +1,161 @@
+// Package core is the HACC framework proper: it wires the spectral
+// particle-mesh long/medium-range solver, the switchable short-range
+// backends (RCB tree "PPTreePM" as on BG/Q, or chaining-mesh "P3M" as on
+// Roadrunner), particle overloading, and the SKS symplectic stepper into a
+// full cosmological N-body simulation (paper §II–III).
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"hacc/internal/cosmology"
+	"hacc/internal/spectral"
+)
+
+// SolverKind selects the short-range backend.
+type SolverKind int
+
+// Short-range backends.
+const (
+	// PPTreePM uses the rank-local RCB tree (BG/P, BG/Q configuration).
+	PPTreePM SolverKind = iota
+	// P3M uses the chaining-mesh direct particle-particle solver
+	// (Roadrunner / GPU configuration).
+	P3M
+	// PMOnly disables the short-range force (long/medium range only).
+	PMOnly
+)
+
+func (s SolverKind) String() string {
+	switch s {
+	case PPTreePM:
+		return "PPTreePM"
+	case P3M:
+		return "P3M"
+	default:
+		return "PMOnly"
+	}
+}
+
+// Config specifies a simulation.
+type Config struct {
+	// Problem definition.
+	NGrid      int     // PM grid points per dimension
+	NParticles int     // particles per dimension
+	BoxMpc     float64 // box side in Mpc/h
+	Cosmo      cosmology.Params
+	Transfer   string // "eh", "eh-nowiggle" (default), or "bbks"
+	ZInit      float64
+	ZFinal     float64
+	Steps      int // full (long-range) steps
+	SubCycles  int // short-range sub-cycles per step (paper: 5–10)
+	Seed       uint64
+	FixedAmp   bool // fixed-amplitude initial conditions
+
+	// Solver configuration.
+	Solver        SolverKind
+	RCut          float64 // short/long force matching radius in cells (default 3)
+	LeafSize      int     // RCB fat-leaf capacity (default 64)
+	Overload      float64 // overload shell width in cells (default RCut+1)
+	Threads       int     // goroutines per rank for force kernels (default 2)
+	Eps           float64 // softening added to s=r² (cells², default 0.01)
+	Sigma         float64 // spectral filter width (default 0.8)
+	NsFilter      int     // spectral filter exponent (default 3)
+	DisableFilter bool    // ablation: no isotropizing filter
+	SlabFFT       bool    // use the slab FFT decomposition
+	FitGridN      int     // grid used for the kernel fit (default 32)
+	NTrees        int     // RCB trees per rank (default 1; §VI load balancing)
+	ThreadedCIC   bool    // threaded forward-CIC deposit (§VI)
+}
+
+// WithDefaults returns the config with defaults filled in.
+func (c Config) WithDefaults() Config {
+	if c.Transfer == "" {
+		c.Transfer = "eh-nowiggle"
+	}
+	if c.RCut == 0 {
+		c.RCut = 3.0
+	}
+	if c.LeafSize == 0 {
+		c.LeafSize = 64
+	}
+	if c.Overload == 0 {
+		c.Overload = c.RCut + 1
+	}
+	if c.Threads == 0 {
+		c.Threads = min(2, runtime.GOMAXPROCS(0))
+	}
+	if c.Eps == 0 {
+		c.Eps = 0.01
+	}
+	if c.Sigma == 0 {
+		c.Sigma = spectral.DefaultSigma
+	}
+	if c.NsFilter == 0 {
+		c.NsFilter = spectral.DefaultNs
+	}
+	if c.SubCycles == 0 {
+		c.SubCycles = 5
+	}
+	if c.FitGridN == 0 {
+		c.FitGridN = 32
+	}
+	if c.NTrees == 0 {
+		c.NTrees = 1
+	}
+	if c.Cosmo == (cosmology.Params{}) {
+		c.Cosmo = cosmology.Default()
+	}
+	return c
+}
+
+// Validate reports configuration errors (call after WithDefaults).
+func (c Config) Validate() error {
+	if c.NGrid < 8 {
+		return fmt.Errorf("core: NGrid %d too small", c.NGrid)
+	}
+	if c.NParticles < 2 {
+		return fmt.Errorf("core: NParticles %d too small", c.NParticles)
+	}
+	if c.BoxMpc <= 0 {
+		return fmt.Errorf("core: BoxMpc must be positive")
+	}
+	if c.ZInit <= c.ZFinal {
+		return fmt.Errorf("core: ZInit %g must exceed ZFinal %g", c.ZInit, c.ZFinal)
+	}
+	if c.Steps < 1 {
+		return fmt.Errorf("core: Steps must be ≥1")
+	}
+	if err := c.Cosmo.Validate(); err != nil {
+		return err
+	}
+	switch c.Transfer {
+	case "eh", "eh-nowiggle", "bbks":
+	default:
+		return fmt.Errorf("core: unknown transfer function %q", c.Transfer)
+	}
+	if 2*c.Overload >= float64(c.NGrid) {
+		return fmt.Errorf("core: overload %g too wide for grid %d", c.Overload, c.NGrid)
+	}
+	return nil
+}
+
+// TransferFunc resolves the configured transfer function.
+func (c Config) TransferFunc() cosmology.TransferFunc {
+	switch c.Transfer {
+	case "eh":
+		return cosmology.EisensteinHu(c.Cosmo)
+	case "bbks":
+		return cosmology.BBKS(c.Cosmo)
+	default:
+		return cosmology.EisensteinHuNoWiggle(c.Cosmo)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

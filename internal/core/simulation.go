@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hacc/internal/analysis"
+	"hacc/internal/cosmology"
+	"hacc/internal/domain"
+	"hacc/internal/grid"
+	"hacc/internal/ic"
+	"hacc/internal/machine"
+	"hacc/internal/mpi"
+	"hacc/internal/shortrange"
+	"hacc/internal/spectral"
+	"hacc/internal/timestep"
+	"hacc/internal/tree"
+)
+
+// Simulation is one rank's view of a running HACC simulation.
+type Simulation struct {
+	Cfg    Config
+	Comm   *mpi.Comm
+	Dec    *grid.Decomp
+	Dom    *domain.Domain
+	LP     *cosmology.LinearPower
+	Kernel *shortrange.Kernel
+
+	poisson *spectral.Poisson
+	rho     *grid.Field
+	acc     [3]*grid.Field
+	rhoEx   *grid.Exchanger
+	accEx   [3]*grid.Exchanger
+	sched   timestep.Schedule
+
+	// A is the current scale factor; StepIndex counts completed full steps.
+	A         float64
+	StepIndex int
+
+	// Mass of one tracer particle in internal units (mean density 1).
+	ParticleMass float64
+	// ParticleMassMsun is the particle mass in Msun/h.
+	ParticleMassMsun float64
+
+	// Timers and Counters accumulate per-rank performance data.
+	Timers   *machine.Timers
+	Counters machine.Counters
+
+	// SubstepsDone counts executed short-range sub-cycles (for
+	// time-per-substep reporting, matching the paper's metric).
+	SubstepsDone int64
+}
+
+// New builds the simulation and generates initial conditions. Collective.
+func New(c *mpi.Comm, cfg Config) (*Simulation, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := [3]int{cfg.NGrid, cfg.NGrid, cfg.NGrid}
+	s := &Simulation{Cfg: cfg, Comm: c, Timers: machine.NewTimers()}
+	s.Dec = grid.NewDecomp(n, c.Size())
+	s.Dom = domain.New(c, s.Dec, cfg.Overload)
+	s.LP = cosmology.NewLinearPower(cfg.Cosmo, cfg.TransferFunc())
+	s.sched = timestep.Schedule{
+		AInit:     cosmology.AFromZ(cfg.ZInit),
+		AFinal:    cosmology.AFromZ(cfg.ZFinal),
+		Steps:     cfg.Steps,
+		SubCycles: cfg.SubCycles,
+	}
+	if err := s.sched.Validate(); err != nil {
+		return nil, err
+	}
+	np3 := float64(cfg.NParticles) * float64(cfg.NParticles) * float64(cfg.NParticles)
+	ng3 := float64(cfg.NGrid) * float64(cfg.NGrid) * float64(cfg.NGrid)
+	s.ParticleMass = ng3 / np3
+	s.ParticleMassMsun = cfg.Cosmo.ParticleMass(cfg.NParticles, cfg.BoxMpc)
+
+	// Grid fields: the acceleration fields must cover the overloaded
+	// particles for interpolation, and the density deposit halo must be
+	// just as wide — actives migrate only at the end of a full step, so
+	// during sub-cycling they may stray into the shell and still deposit
+	// locally (the no-communication property of overloading, §II). The +2
+	// is one cell for the CIC stencil plus one cell of drift margin per
+	// step; faster particles are a physical error (raise Overload), which
+	// the indexing check reports loudly.
+	ghost := int(math.Ceil(cfg.Overload)) + 2
+	box := s.Dec.Box(c.Rank())
+	s.rho = grid.NewField(n, box, ghost)
+	s.rhoEx = grid.NewExchanger(c, s.Dec, s.rho)
+	for d := 0; d < 3; d++ {
+		s.acc[d] = grid.NewField(n, box, ghost)
+	}
+	// The exchanger plan depends only on the shape, which is identical for
+	// all three components: build once and reuse.
+	s.accEx[0] = grid.NewExchanger(c, s.Dec, s.acc[0])
+	s.accEx[1] = s.accEx[0]
+	s.accEx[2] = s.accEx[0]
+
+	s.poisson = spectral.NewPoisson(c, s.Dec, spectral.Options{
+		OmegaM: cfg.Cosmo.OmegaM,
+		Sigma:  cfg.Sigma,
+		Ns:     cfg.NsFilter,
+		Filter: !cfg.DisableFilter,
+		Slab:   cfg.SlabFFT,
+	})
+	s.Counters.FFTGridN = cfg.NGrid
+
+	if cfg.Solver != PMOnly {
+		// Fit the short-range residual once on rank 0 and broadcast.
+		var poly [6]float64
+		if c.Rank() == 0 {
+			res, err := shortrange.FitGridForce(shortrange.FitOptions{
+				GridN: cfg.FitGridN,
+				RCut:  cfg.RCut,
+				Sigma: cfg.Sigma,
+				Ns:    cfg.NsFilter,
+				Seed:  int64(cfg.Seed),
+			})
+			if err != nil {
+				panic(fmt.Sprintf("core: kernel fit failed: %v", err))
+			}
+			poly = res.Poly
+		}
+		coef := mpi.Bcast(c, 0, poly[:])
+		copy(poly[:], coef)
+		gm := 1.5 * cfg.Cosmo.OmegaM * s.ParticleMass / (4 * math.Pi)
+		s.Kernel = shortrange.NewKernel(poly, cfg.RCut, cfg.Eps, gm)
+	}
+
+	// Initial conditions.
+	err := ic.Generate(c, s.Dec, s.LP, ic.Options{
+		Np:     cfg.NParticles,
+		BoxMpc: cfg.BoxMpc,
+		AInit:  s.sched.AInit,
+		Seed:   cfg.Seed,
+		Fixed:  cfg.FixedAmp,
+	}, s.Dom)
+	if err != nil {
+		return nil, err
+	}
+	s.Dom.Refresh()
+	s.A = s.sched.AInit
+	return s, nil
+}
+
+// Z returns the current redshift.
+func (s *Simulation) Z() float64 { return cosmology.ZFromA(s.A) }
+
+// Step advances the simulation by one full long-range step (two PM kicks
+// around SubCycles short-range SKS sub-cycles), then re-establishes domain
+// ownership and overloading. Collective.
+func (s *Simulation) Step() error {
+	if s.StepIndex >= s.sched.Steps {
+		return fmt.Errorf("core: all %d steps already taken", s.sched.Steps)
+	}
+	a0, a1 := s.sched.StepBounds(s.StepIndex)
+	ops := timestep.Ops(s.Cfg.Cosmo, a0, a1, s.sched.SubCycles)
+	for _, op := range ops {
+		switch op.Kind {
+		case timestep.KickLong:
+			s.kickLong(op.W)
+		case timestep.KickShort:
+			s.kickShort(op.W)
+			s.SubstepsDone++
+		case timestep.Stream:
+			s.stream(op.W)
+		}
+	}
+	s.Timers.Time("exchange", func() {
+		s.Dom.Migrate()
+		s.Dom.Refresh()
+	})
+	s.StepIndex++
+	s.A = a1
+	return nil
+}
+
+// Run advances through all remaining steps, invoking cb (if non-nil) after
+// every step.
+func (s *Simulation) Run(cb func(step int, a float64)) error {
+	for s.StepIndex < s.sched.Steps {
+		if err := s.Step(); err != nil {
+			return err
+		}
+		if cb != nil {
+			cb(s.StepIndex, s.A)
+		}
+	}
+	return nil
+}
+
+// kickLong deposits the density, runs the spectral Poisson solve, and
+// applies p += w·a_pm to actives and passives.
+func (s *Simulation) kickLong(w float64) {
+	s.Timers.Time("cic", func() {
+		s.rho.Fill(0)
+		if s.Cfg.ThreadedCIC {
+			grid.DepositCICParallel(s.rho, s.Dom.Active.X, s.Dom.Active.Y, s.Dom.Active.Z, s.ParticleMass, s.Cfg.Threads)
+		} else {
+			grid.DepositCIC(s.rho, s.Dom.Active.X, s.Dom.Active.Y, s.Dom.Active.Z, s.ParticleMass)
+		}
+		s.Counters.CICOps += int64(s.Dom.Active.Len())
+	})
+	s.Timers.Time("comm", func() { s.rhoEx.Accumulate(s.rho) })
+	s.Timers.Time("fft", func() {
+		s.poisson.Solve(s.rho, &s.acc)
+		s.Counters.FFT3D += 4 // one forward + three gradient inverses
+	})
+	s.Timers.Time("comm", func() {
+		for d := 0; d < 3; d++ {
+			s.accEx[d].Fill(s.acc[d])
+		}
+	})
+	s.Timers.Time("cic", func() {
+		s.applyGridKick(&s.Dom.Active, w)
+		s.applyGridKick(&s.Dom.Passive, w)
+		s.Counters.CICOps += 3 * int64(s.Dom.Active.Len()+s.Dom.Passive.Len())
+	})
+}
+
+// applyGridKick interpolates the PM acceleration and updates momenta.
+func (s *Simulation) applyGridKick(p *domain.Particles, w float64) {
+	n := p.Len()
+	if n == 0 {
+		return
+	}
+	buf := make([]float32, n)
+	vel := [3][]float32{p.Vx, p.Vy, p.Vz}
+	for d := 0; d < 3; d++ {
+		grid.InterpCIC(s.acc[d], p.X, p.Y, p.Z, buf, w)
+		v := vel[d]
+		for i := 0; i < n; i++ {
+			v[i] += buf[i]
+		}
+	}
+}
+
+// kickShort evaluates the short-range force with the configured backend
+// over actives+passives and applies p += w·a_sr.
+func (s *Simulation) kickShort(w float64) {
+	if s.Cfg.Solver == PMOnly {
+		return
+	}
+	na := s.Dom.Active.Len()
+	npass := s.Dom.Passive.Len()
+	tot := na + npass
+	if tot == 0 {
+		return
+	}
+	x := make([]float32, 0, tot)
+	y := make([]float32, 0, tot)
+	z := make([]float32, 0, tot)
+	x = append(append(x, s.Dom.Active.X...), s.Dom.Passive.X...)
+	y = append(append(y, s.Dom.Active.Y...), s.Dom.Passive.Y...)
+	z = append(append(z, s.Dom.Active.Z...), s.Dom.Passive.Z...)
+	ax := make([]float32, tot)
+	ay := make([]float32, tot)
+	az := make([]float32, tot)
+
+	switch s.Cfg.Solver {
+	case PPTreePM:
+		if s.Cfg.NTrees > 1 {
+			var fr *tree.Forest
+			s.Timers.Time("build", func() {
+				fr = tree.BuildForest(x, y, z, s.Cfg.LeafSize, s.Cfg.NTrees, s.Cfg.RCut)
+			})
+			t0 := time.Now()
+			fr.ComputeForces(s.Kernel.Apply, s.Cfg.RCut, s.Cfg.Threads)
+			walkAndKernel := time.Since(t0)
+			inter := fr.Interactions()
+			s.Counters.KernelInteractions += inter
+			kshare := kernelShare(walkAndKernel, inter, fr.NeighborCount())
+			s.Timers.Add("kernel", kshare)
+			s.Timers.Add("walk", walkAndKernel-kshare)
+			fr.AccelInto(ax, ay, az)
+			break
+		}
+		var tr *tree.Tree
+		s.Timers.Time("build", func() { tr = tree.Build(x, y, z, s.Cfg.LeafSize) })
+		t0 := time.Now()
+		tr.ComputeForces(s.Kernel.Apply, s.Cfg.RCut, s.Cfg.Threads)
+		walkAndKernel := time.Since(t0)
+		inter := tr.Interactions.Load()
+		s.Counters.KernelInteractions += inter
+		// Split the measured time by the modeled kernel rate: the kernel
+		// share is interactions at the sustained per-pair cost; remainder
+		// is the walk. (Direct per-leaf timing would serialize the
+		// goroutines' clocks; the paper reports the same split from
+		// hardware counters.)
+		kshare := kernelShare(walkAndKernel, inter, tr.NeighborCount.Load())
+		s.Timers.Add("kernel", kshare)
+		s.Timers.Add("walk", walkAndKernel-kshare)
+		tr.AccelInto(ax, ay, az)
+	case P3M:
+		var cm *shortrange.ChainingMesh
+		s.Timers.Time("build", func() { cm = shortrange.BuildMesh(x, y, z, s.Cfg.RCut) })
+		t0 := time.Now()
+		cm.ComputeForces(s.Kernel.Apply, s.Cfg.Threads)
+		s.Timers.Add("kernel", time.Since(t0))
+		s.Counters.KernelInteractions += cm.Interactions.Load()
+		cm.AccelInto(ax, ay, az)
+	}
+
+	wv := float32(w)
+	for i := 0; i < na; i++ {
+		s.Dom.Active.Vx[i] += wv * ax[i]
+		s.Dom.Active.Vy[i] += wv * ay[i]
+		s.Dom.Active.Vz[i] += wv * az[i]
+	}
+	for i := 0; i < npass; i++ {
+		s.Dom.Passive.Vx[i] += wv * ax[na+i]
+		s.Dom.Passive.Vy[i] += wv * ay[na+i]
+		s.Dom.Passive.Vz[i] += wv * az[na+i]
+	}
+}
+
+// kernelShare estimates the kernel's share of the combined walk+kernel
+// time from the interaction-to-gather ratio.
+func kernelShare(total time.Duration, interactions, gathered int64) time.Duration {
+	if interactions <= 0 {
+		return 0
+	}
+	// Gather cost per neighbor copied is ~1/8 of a pair interaction.
+	k := float64(interactions)
+	g := float64(gathered) / 8
+	return time.Duration(float64(total) * k / (k + g))
+}
+
+// stream advances positions x += w·p for actives and passives.
+func (s *Simulation) stream(w float64) {
+	s.Timers.Time("stream", func() {
+		wv := float32(w)
+		for _, p := range []*domain.Particles{&s.Dom.Active, &s.Dom.Passive} {
+			n := p.Len()
+			for i := 0; i < n; i++ {
+				p.X[i] += wv * p.Vx[i]
+				p.Y[i] += wv * p.Vy[i]
+				p.Z[i] += wv * p.Vz[i]
+			}
+		}
+	})
+}
+
+// PowerSpectrum measures P(k) of the current particle distribution.
+// Collective.
+func (s *Simulation) PowerSpectrum(bins int, subtractShot bool) *analysis.PowerSpectrum {
+	return analysis.MeasurePower(s.Comm, s.Dec, s.Dom, s.Cfg.BoxMpc, bins, subtractShot)
+}
+
+// FindHalos runs the overload-aware FOF finder; b is the linking length as
+// a fraction of the mean interparticle spacing (0.2 is standard).
+func (s *Simulation) FindHalos(b float64, minN int) []analysis.Halo {
+	spacing := float64(s.Cfg.NGrid) / float64(s.Cfg.NParticles)
+	return analysis.FindHalos(s.Dom, s.Dec, b*spacing, minN, s.ParticleMassMsun)
+}
+
+// DensityStats deposits the density and returns its statistics. Collective.
+func (s *Simulation) DensityStats() analysis.DensityStats {
+	s.rho.Fill(0)
+	grid.DepositCIC(s.rho, s.Dom.Active.X, s.Dom.Active.Y, s.Dom.Active.Z, s.ParticleMass)
+	s.rhoEx.Accumulate(s.rho)
+	local := analysis.MeasureDensityStats(s.rho.Owned())
+	// Combine across ranks.
+	v := mpi.AllReduce(s.Comm, []float64{local.Variance * float64(len(s.rho.Owned()))}, mpi.SumF64)
+	n := mpi.AllReduce(s.Comm, []float64{float64(len(s.rho.Owned()))}, mpi.SumF64)
+	mx := mpi.AllReduce(s.Comm, []float64{local.Max}, mpi.MaxF64)
+	mn := mpi.AllReduce(s.Comm, []float64{local.Min}, mpi.MinF64)
+	return analysis.DensityStats{
+		Variance: v[0] / n[0],
+		Max:      mx[0],
+		Min:      mn[0],
+		NegFrac:  local.NegFrac,
+	}
+}
+
+// GlobalCounters reduces the per-rank counters across the communicator.
+func (s *Simulation) GlobalCounters() machine.Counters {
+	vals := []int64{s.Counters.KernelInteractions, s.Counters.FFT3D, s.Counters.CICOps}
+	tot := mpi.AllReduce(s.Comm, vals, mpi.SumI64)
+	return machine.Counters{
+		KernelInteractions: tot[0],
+		FFT3D:              s.Counters.FFT3D, // global transforms, not per-rank sums
+		FFTGridN:           s.Counters.FFTGridN,
+		CICOps:             tot[2],
+	}
+}
+
+// MemoryMB estimates this rank's particle + field memory in MB (the
+// Table II/III memory column).
+func (s *Simulation) MemoryMB() float64 {
+	bytes := s.Dom.MemoryBytes()
+	bytes += int64(len(s.rho.Data)+3*len(s.acc[0].Data)) * 8
+	return float64(bytes) / (1 << 20)
+}

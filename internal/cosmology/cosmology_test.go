@@ -1,0 +1,247 @@
+package cosmology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.OmegaM = -1
+	if bad.Validate() == nil {
+		t.Error("negative OmegaM accepted")
+	}
+	bad = Default()
+	bad.OmegaB = 0.9
+	if bad.Validate() == nil {
+		t.Error("OmegaB > OmegaM accepted")
+	}
+}
+
+func TestEdSBackground(t *testing.T) {
+	p := EdS()
+	// E(a) = a^{-3/2} in EdS.
+	for _, a := range []float64{0.1, 0.25, 0.5, 1} {
+		want := math.Pow(a, -1.5)
+		if got := p.E(a); math.Abs(got-want) > 1e-12 {
+			t.Errorf("E(%g)=%g want %g", a, got, want)
+		}
+		if got := p.OmegaMAt(a); math.Abs(got-1) > 1e-12 {
+			t.Errorf("OmegaM(%g)=%g want 1", a, got)
+		}
+	}
+}
+
+func TestEToday(t *testing.T) {
+	for _, p := range []Params{Default(), EdS()} {
+		if e := p.E(1); math.Abs(e-1) > 1e-12 {
+			t.Errorf("E(1)=%g for %+v", e, p)
+		}
+	}
+}
+
+func TestGrowthEdS(t *testing.T) {
+	g := NewGrowth(EdS())
+	// D(a) = a exactly in EdS; f = 1.
+	for _, a := range []float64{0.02, 0.1, 0.3, 0.7, 1} {
+		if d := g.D(a); math.Abs(d-a) > 2e-3*a {
+			t.Errorf("EdS D(%g)=%g want %g", a, d, a)
+		}
+		if f := g.F(a); math.Abs(f-1) > 2e-3 {
+			t.Errorf("EdS f(%g)=%g want 1", a, f)
+		}
+	}
+}
+
+func TestGrowthLCDM(t *testing.T) {
+	p := Default()
+	g := NewGrowth(p)
+	if d := g.D(1); math.Abs(d-1) > 1e-12 {
+		t.Errorf("D(1)=%g", d)
+	}
+	// ΛCDM growth is suppressed at late times, so the D(1)=1 normalized
+	// curve lies above a: D(0.5)/0.5 > 1 (literature value ≈1.22–1.28).
+	if d := g.D(0.5); d < 0.55 || d > 0.70 {
+		t.Errorf("ΛCDM D(0.5)=%g, expected ≈0.61–0.64", d)
+	}
+	// f ≈ Ωm(a)^0.55 to ~1%.
+	for _, a := range []float64{0.3, 0.5, 0.8, 1} {
+		want := math.Pow(p.OmegaMAt(a), 0.55)
+		if f := g.F(a); math.Abs(f-want) > 0.015 {
+			t.Errorf("f(%g)=%g want ≈%g", a, f, want)
+		}
+	}
+	// Early times: matter-dominated, D ∝ a.
+	r1 := g.D(0.002) / 0.002
+	r2 := g.D(0.001) / 0.001
+	if math.Abs(r1/r2-1) > 1e-3 {
+		t.Errorf("early growth not ∝ a: %g vs %g", r1, r2)
+	}
+}
+
+func TestGrowthMonotonicProperty(t *testing.T) {
+	g := NewGrowth(Default())
+	f := func(x, y float64) bool {
+		a1 := 0.01 + math.Mod(math.Abs(x), 0.99)
+		a2 := 0.01 + math.Mod(math.Abs(y), 0.99)
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		return g.D(a1) <= g.D(a2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferLimits(t *testing.T) {
+	p := Default()
+	for name, tf := range map[string]TransferFunc{
+		"BBKS":         BBKS(p),
+		"EHNoWiggle":   EisensteinHuNoWiggle(p),
+		"EisensteinHu": EisensteinHu(p),
+	} {
+		// T → 1 as k → 0.
+		if v := tf(1e-5); math.Abs(v-1) > 0.02 {
+			t.Errorf("%s: T(1e-5)=%g want ≈1", name, v)
+		}
+		// Monotone-ish decline to small values at high k.
+		if v := tf(10); v > 1e-2 {
+			t.Errorf("%s: T(10)=%g want <0.01", name, v)
+		}
+		// Positive everywhere sampled.
+		for k := 1e-4; k < 30; k *= 1.5 {
+			if tf(k) <= 0 {
+				t.Errorf("%s: T(%g) <= 0", name, k)
+			}
+		}
+	}
+}
+
+func TestEisensteinHuWiggles(t *testing.T) {
+	// The full EH transfer must oscillate around the no-wiggle form in the
+	// BAO regime (k ~ 0.05–0.3 h/Mpc), crossing it several times.
+	p := Default()
+	full := EisensteinHu(p)
+	smooth := EisensteinHuNoWiggle(p)
+	crossings := 0
+	prev := 0.0
+	for k := 0.03; k < 0.4; k *= 1.01 {
+		r := full(k)/smooth(k) - 1
+		if r*prev < 0 {
+			crossings++
+		}
+		prev = r
+		if math.Abs(r) > 0.12 {
+			t.Errorf("wiggle amplitude %g at k=%g too large", r, k)
+		}
+	}
+	if crossings < 4 {
+		t.Errorf("only %d BAO crossings, expected ≥4", crossings)
+	}
+}
+
+func TestSigma8Normalization(t *testing.T) {
+	p := Default()
+	for _, tf := range []TransferFunc{BBKS(p), EisensteinHuNoWiggle(p), EisensteinHu(p)} {
+		lp := NewLinearPower(p, tf)
+		if s := lp.SigmaR(8); math.Abs(s-p.Sigma8) > 1e-6 {
+			t.Errorf("σ8 normalization: got %g want %g", s, p.Sigma8)
+		}
+	}
+}
+
+func TestSigmaRMonotone(t *testing.T) {
+	lp := NewLinearPower(Default(), EisensteinHuNoWiggle(Default()))
+	prev := math.Inf(1)
+	for _, r := range []float64{0.5, 1, 2, 4, 8, 16, 32} {
+		s := lp.SigmaR(r)
+		if s >= prev {
+			t.Errorf("σ(R=%g)=%g not decreasing (prev %g)", r, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestPAtScalesWithGrowth(t *testing.T) {
+	lp := NewLinearPower(Default(), BBKS(Default()))
+	k := 0.1
+	d := lp.Gfac.D(0.5)
+	want := d * d * lp.P(k)
+	if got := lp.PAt(k, 0.5); math.Abs(got-want) > 1e-12*want {
+		t.Errorf("PAt=%g want %g", got, want)
+	}
+}
+
+func TestParticleMass(t *testing.T) {
+	p := Default()
+	// The paper's science run: 10240³ particles in a (9.14 Gpc)³ box →
+	// mp ≈ 1.9e10 M☉ (§V). The paper does not state its exact h-unit
+	// convention or parameter set, so check order of magnitude only,
+	// plus the exact defining relation.
+	mp := p.ParticleMass(10240, 9140)
+	if mp < 0.5e10 || mp > 8e10 {
+		t.Errorf("paper particle mass check: got %g want O(1.9e10)", mp)
+	}
+	want := p.MeanMatterDensity() * 9140 * 9140 * 9140 / (10240.0 * 10240.0 * 10240.0)
+	if math.Abs(mp-want) > 1e-6*want {
+		t.Errorf("ParticleMass=%g want %g", mp, want)
+	}
+}
+
+func TestMassFunctionShape(t *testing.T) {
+	lp := NewLinearPower(Default(), EisensteinHuNoWiggle(Default()))
+	mf := NewMassFunction(lp)
+	// dn/dlnM decreases steeply with mass at the cluster scale, and ST > PS
+	// in the exponential tail (ST predicts more massive clusters).
+	n14 := mf.DnDlnM(1e14, 1, ShethTormen)
+	n15 := mf.DnDlnM(1e15, 1, ShethTormen)
+	if !(n14 > n15 && n15 > 0) {
+		t.Errorf("mass function not decreasing: n(1e14)=%g n(1e15)=%g", n14, n15)
+	}
+	ps := mf.DnDlnM(3e15, 1, PressSchechter)
+	st := mf.DnDlnM(3e15, 1, ShethTormen)
+	if st <= ps {
+		t.Errorf("ST tail %g should exceed PS %g at 3e15", st, ps)
+	}
+	// Integral sanity: multiplicity functions are normalized to O(1).
+	var sum float64
+	for lnS := -3.0; lnS < 3; lnS += 0.01 {
+		sum += ShethTormen(math.Exp(lnS)) * 0.01
+	}
+	if sum < 0.5 || sum > 1.1 {
+		t.Errorf("ST multiplicity integral %g out of range", sum)
+	}
+}
+
+func TestKickDriftFactors(t *testing.T) {
+	p := EdS()
+	// EdS analytics: ∫da/(a²E) = ∫a^{-1/2}da = 2(√a1-√a0);
+	// ∫da/(a³E) = ∫a^{-3/2}da = 2(1/√a0 - 1/√a1).
+	a0, a1 := 0.25, 1.0
+	wantKick := 2 * (math.Sqrt(a1) - math.Sqrt(a0))
+	wantDrift := 2 * (1/math.Sqrt(a0) - 1/math.Sqrt(a1))
+	if got := p.KickFactor(a0, a1); math.Abs(got-wantKick) > 1e-6 {
+		t.Errorf("kick %g want %g", got, wantKick)
+	}
+	if got := p.DriftFactor(a0, a1); math.Abs(got-wantDrift) > 1e-6 {
+		t.Errorf("drift %g want %g", got, wantDrift)
+	}
+	// Additivity: factor(a0,a1) = factor(a0,am) + factor(am,a1).
+	am := 0.6
+	if d := p.KickFactor(a0, am) + p.KickFactor(am, a1) - p.KickFactor(a0, a1); math.Abs(d) > 1e-9 {
+		t.Errorf("kick not additive: %g", d)
+	}
+}
+
+func TestAZRoundTrip(t *testing.T) {
+	for _, z := range []float64{0, 0.5, 1, 5, 25, 199} {
+		if got := ZFromA(AFromZ(z)); math.Abs(got-z) > 1e-12*(1+z) {
+			t.Errorf("z round trip %g -> %g", z, got)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package cosmology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCPLReducesToLambda(t *testing.T) {
+	lcdm := Default()
+	cpl := Default()
+	cpl.W = -1
+	cpl.WA = 0
+	for _, a := range []float64{0.1, 0.3, 0.5, 0.8, 1} {
+		if math.Abs(lcdm.E(a)-cpl.E(a)) > 1e-14 {
+			t.Errorf("CPL(-1,0) != Λ at a=%g", a)
+		}
+		if math.Abs(lcdm.DlnEDlnA(a)-cpl.DlnEDlnA(a)) > 1e-12 {
+			t.Errorf("dlnE mismatch at a=%g: %g vs %g", a, lcdm.DlnEDlnA(a), cpl.DlnEDlnA(a))
+		}
+	}
+}
+
+func TestConstantWDensityScaling(t *testing.T) {
+	// w = -0.8 constant: ρ_de ∝ a^{-0.6}.
+	p := Default()
+	p.W = -0.8
+	for _, a := range []float64{0.25, 0.5, 0.9} {
+		want := p.OmegaL * math.Pow(a, -3*(1-0.8))
+		got := p.deDensity(a)
+		if math.Abs(got-want) > 1e-12*want {
+			t.Errorf("w=-0.8 density at a=%g: %g want %g", a, got, want)
+		}
+	}
+}
+
+func TestCPLDensityLimits(t *testing.T) {
+	p := Default()
+	p.W = -0.9
+	p.WA = 0.3
+	// At a=1 the density is exactly ΩΛ regardless of parameters.
+	if math.Abs(p.deDensity(1)-p.OmegaL) > 1e-14 {
+		t.Errorf("deDensity(1)=%g", p.deDensity(1))
+	}
+	// E(1) = 1 for a flat model.
+	if math.Abs(p.E(1)-1) > 1e-12 {
+		t.Errorf("E(1)=%g", p.E(1))
+	}
+}
+
+func TestDlnEDlnAConsistentWithFiniteDifference(t *testing.T) {
+	// The analytic dlnE/dlna must match a numerical derivative for several
+	// dark-energy models including evolving w.
+	models := []Params{
+		Default(),
+		{OmegaM: 0.3, OmegaL: 0.7, OmegaB: 0.04, H: 0.7, Sigma8: 0.8, NS: 1, W: -0.7},
+		{OmegaM: 0.3, OmegaL: 0.7, OmegaB: 0.04, H: 0.7, Sigma8: 0.8, NS: 1, W: -1.1, WA: 0.4},
+		{OmegaM: 0.25, OmegaL: 0.7, OmegaB: 0.04, H: 0.7, Sigma8: 0.8, NS: 1, W: -0.9, WA: -0.3},
+	}
+	for mi, p := range models {
+		for _, a := range []float64{0.2, 0.5, 0.9} {
+			const eps = 1e-5
+			num := (math.Log(p.E(a*(1+eps))) - math.Log(p.E(a*(1-eps)))) / (2 * eps)
+			ana := p.DlnEDlnA(a)
+			if math.Abs(num-ana) > 1e-6*(1+math.Abs(ana)) {
+				t.Errorf("model %d a=%g: analytic %g numeric %g", mi, a, ana, num)
+			}
+		}
+	}
+}
+
+func TestQuintessenceGrowthSuppression(t *testing.T) {
+	// w > -1 (quintessence): dark energy dominates earlier, so growth from
+	// a=0.5 to 1 is MORE suppressed than in ΛCDM (normalized D(0.5) higher).
+	lcdm := NewGrowth(Default())
+	q := Default()
+	q.W = -0.7
+	qg := NewGrowth(q)
+	if !(qg.D(0.5) > lcdm.D(0.5)) {
+		t.Errorf("quintessence D(0.5)=%g should exceed ΛCDM %g", qg.D(0.5), lcdm.D(0.5))
+	}
+	// Phantom (w < -1): the opposite ordering.
+	ph := Default()
+	ph.W = -1.3
+	pg := NewGrowth(ph)
+	if !(pg.D(0.5) < lcdm.D(0.5)) {
+		t.Errorf("phantom D(0.5)=%g should be below ΛCDM %g", pg.D(0.5), lcdm.D(0.5))
+	}
+}
+
+func TestCPLKickDriftFinite(t *testing.T) {
+	p := Default()
+	p.W = -0.9
+	p.WA = 0.5
+	k := p.KickFactor(0.1, 1)
+	d := p.DriftFactor(0.1, 1)
+	if !(k > 0 && d > 0) || math.IsNaN(k) || math.IsNaN(d) {
+		t.Errorf("CPL factors k=%g d=%g", k, d)
+	}
+}

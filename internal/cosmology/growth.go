@@ -1,0 +1,96 @@
+package cosmology
+
+import "math"
+
+// Growth tabulates the linear growth factor D(a), normalized to D(1)=1, and
+// the growth rate f = dlnD/dlna, by integrating the growth ODE
+//
+//	D'' + (3 + dlnE/dlna)·D'/a ... in ln a form:
+//	d²D/dlna² + (2 + dlnE/dlna)·dD/dlna − (3/2)·Ωm(a)·D = 0
+//
+// from deep in the matter era (where D ∝ a) with a classical RK4 scheme.
+// This stays correct for w ≠ −1 dark energy, the model space the paper's
+// science program targets.
+type Growth struct {
+	p     Params
+	lnA   []float64
+	d     []float64
+	f     []float64
+	norm  float64
+	aInit float64
+}
+
+// NewGrowth integrates the growth ODE for the given model.
+func NewGrowth(p Params) *Growth {
+	const (
+		aStart = 1e-4
+		aEnd   = 1.0
+		steps  = 2048
+	)
+	g := &Growth{p: p, aInit: aStart}
+	lnStart, lnEnd := math.Log(aStart), math.Log(aEnd)
+	h := (lnEnd - lnStart) / steps
+	// State y = (D, dD/dlna); matter-era initial condition D = a, D' = D.
+	d, dp := aStart, aStart
+	deriv := func(lna, d, dp float64) (float64, float64) {
+		a := math.Exp(lna)
+		return dp, -(2+p.DlnEDlnA(a))*dp + 1.5*p.OmegaMAt(a)*d
+	}
+	g.lnA = make([]float64, steps+1)
+	g.d = make([]float64, steps+1)
+	g.f = make([]float64, steps+1)
+	store := func(i int, lna, d, dp float64) {
+		g.lnA[i] = lna
+		g.d[i] = d
+		g.f[i] = dp / d
+	}
+	store(0, lnStart, d, dp)
+	for i := 0; i < steps; i++ {
+		lna := lnStart + float64(i)*h
+		k1d, k1p := deriv(lna, d, dp)
+		k2d, k2p := deriv(lna+h/2, d+h/2*k1d, dp+h/2*k1p)
+		k3d, k3p := deriv(lna+h/2, d+h/2*k2d, dp+h/2*k2p)
+		k4d, k4p := deriv(lna+h, d+h*k3d, dp+h*k3p)
+		d += h / 6 * (k1d + 2*k2d + 2*k3d + k4d)
+		dp += h / 6 * (k1p + 2*k2p + 2*k3p + k4p)
+		store(i+1, lna+h, d, dp)
+	}
+	g.norm = d // D at a=1 before normalization
+	for i := range g.d {
+		g.d[i] /= g.norm
+	}
+	return g
+}
+
+// D returns the linear growth factor at scale factor a, with D(1) = 1.
+func (g *Growth) D(a float64) float64 {
+	d, _ := g.interp(a)
+	return d
+}
+
+// F returns the growth rate f = dlnD/dlna at scale factor a.
+func (g *Growth) F(a float64) float64 {
+	_, f := g.interp(a)
+	return f
+}
+
+func (g *Growth) interp(a float64) (d, f float64) {
+	lna := math.Log(a)
+	n := len(g.lnA)
+	if lna <= g.lnA[0] {
+		// Deep matter era: D ∝ a.
+		return g.d[0] * a / g.aInit, g.f[0]
+	}
+	if lna >= g.lnA[n-1] {
+		// Extrapolate past a=1 linearly in ln a (rarely needed).
+		slope := g.f[n-1]
+		return g.d[n-1] * math.Exp(slope*(lna-g.lnA[n-1])), slope
+	}
+	h := g.lnA[1] - g.lnA[0]
+	i := int((lna - g.lnA[0]) / h)
+	if i >= n-1 {
+		i = n - 2
+	}
+	t := (lna - g.lnA[i]) / h
+	return g.d[i]*(1-t) + g.d[i+1]*t, g.f[i]*(1-t) + g.f[i+1]*t
+}

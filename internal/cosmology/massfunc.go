@@ -1,0 +1,52 @@
+package cosmology
+
+import "math"
+
+// DeltaC is the spherical-collapse critical overdensity.
+const DeltaC = 1.686
+
+// MassFunction evaluates analytic halo mass functions dn/dlnM from a linear
+// power spectrum; the paper (§V) uses the mass function as a primary
+// cosmological probe, so the simulated FOF mass function is compared to
+// these forms in the Fig. 11 experiment.
+type MassFunction struct {
+	lp *LinearPower
+}
+
+// NewMassFunction builds a mass-function calculator.
+func NewMassFunction(lp *LinearPower) *MassFunction { return &MassFunction{lp: lp} }
+
+// multiplicity functions f(σ): fraction of mass in collapsed objects per
+// unit ln σ⁻¹.
+
+// PressSchechter is the classic 1974 multiplicity function.
+func PressSchechter(sigma float64) float64 {
+	nu := DeltaC / sigma
+	return math.Sqrt(2/math.Pi) * nu * math.Exp(-nu*nu/2)
+}
+
+// ShethTormen is the 1999 ellipsoidal-collapse multiplicity function.
+func ShethTormen(sigma float64) float64 {
+	const (
+		aa = 0.707
+		pp = 0.3
+		na = 0.3222 // normalization A
+	)
+	nu := DeltaC / sigma
+	anu2 := aa * nu * nu
+	return na * math.Sqrt(2*aa/math.Pi) * nu * (1 + math.Pow(anu2, -pp)) * math.Exp(-anu2/2)
+}
+
+// DnDlnM returns the comoving number density of halos per ln mass interval
+// at scale factor a, in (Mpc/h)⁻³, for the multiplicity function f.
+func (mf *MassFunction) DnDlnM(m, a float64, f func(float64) float64) float64 {
+	d := mf.lp.Gfac.D(a)
+	sigma := mf.lp.SigmaM(m) * d
+	// dlnσ⁻¹/dlnM by central difference.
+	const eps = 1e-3
+	s1 := mf.lp.SigmaM(m * (1 - eps))
+	s2 := mf.lp.SigmaM(m * (1 + eps))
+	dlnSigInvDlnM := -(math.Log(s2) - math.Log(s1)) / (2 * eps)
+	rhoM := mf.lp.p.MeanMatterDensity()
+	return f(sigma) * rhoM / m * dlnSigInvDlnM
+}

@@ -1,0 +1,154 @@
+// Package cosmology provides the FRW background, linear growth of structure,
+// matter transfer functions, linear power spectra, and analytic halo mass
+// functions needed to set up and validate HACC simulations. All formulas are
+// implemented from the primary literature (Peebles 1980; Bardeen et al. 1986;
+// Eisenstein & Hu 1998; Press & Schechter 1974; Sheth & Tormen 1999).
+//
+// Unit conventions: k in h/Mpc, lengths in Mpc/h, masses in Msun/h,
+// H0 = 100h km/s/Mpc so that h never appears explicitly in densities:
+// rho_crit = 2.7754e11 Msun/h / (Mpc/h)^3.
+package cosmology
+
+import (
+	"fmt"
+	"math"
+)
+
+// RhoCrit is the critical density in Msun/h per (Mpc/h)^3.
+const RhoCrit = 2.7754e11
+
+// Params specifies a cosmological model with constant-w dark energy.
+type Params struct {
+	OmegaM float64 // total matter density fraction today
+	OmegaB float64 // baryon density fraction today
+	OmegaL float64 // dark energy density fraction today
+	H      float64 // Hubble parameter h = H0/(100 km/s/Mpc)
+	Sigma8 float64 // linear power normalization in 8 Mpc/h spheres at z=0
+	NS     float64 // primordial spectral index
+	W      float64 // dark energy equation of state at z=0
+	WA     float64 // CPL evolution: w(a) = W + WA·(1−a)
+	TCMB   float64 // CMB temperature in K (default 2.725)
+}
+
+// Default returns the WMAP-7-like parameters used for the HACC science runs
+// of the paper's era.
+func Default() Params {
+	return Params{
+		OmegaM: 0.265,
+		OmegaB: 0.0448,
+		OmegaL: 0.735,
+		H:      0.71,
+		Sigma8: 0.8,
+		NS:     0.963,
+		W:      -1,
+		TCMB:   2.725,
+	}
+}
+
+// EdS returns an Einstein-de Sitter (Ωm=1) model, useful for analytic checks
+// because D(a) = a exactly.
+func EdS() Params {
+	return Params{OmegaM: 1, OmegaB: 0.05, OmegaL: 0, H: 0.7,
+		Sigma8: 0.8, NS: 1, W: -1, TCMB: 2.725}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.OmegaM <= 0 {
+		return fmt.Errorf("cosmology: OmegaM must be positive, got %g", p.OmegaM)
+	}
+	if p.OmegaB < 0 || p.OmegaB > p.OmegaM {
+		return fmt.Errorf("cosmology: OmegaB=%g outside [0, OmegaM=%g]", p.OmegaB, p.OmegaM)
+	}
+	if p.H <= 0 {
+		return fmt.Errorf("cosmology: h must be positive, got %g", p.H)
+	}
+	if p.NS <= 0 {
+		return fmt.Errorf("cosmology: ns must be positive, got %g", p.NS)
+	}
+	return nil
+}
+
+// OmegaK returns the curvature density fraction 1 - Ωm - ΩΛ.
+func (p Params) OmegaK() float64 { return 1 - p.OmegaM - p.OmegaL }
+
+// E returns H(a)/H0 for the model (radiation neglected, as appropriate for
+// structure-formation redshifts). Dark energy follows the CPL
+// parameterization w(a) = W + WA·(1−a), the standard parameterization of
+// the dark-energy model space the paper's science program targets (§V):
+// ρ_de(a)/ρ_de(1) = a^(−3(1+W+WA))·exp(−3·WA·(1−a)).
+func (p Params) E(a float64) float64 {
+	return math.Sqrt(p.OmegaM/(a*a*a) + p.OmegaK()/(a*a) + p.deDensity(a))
+}
+
+// deDensity returns the dark-energy density relative to critical today.
+func (p Params) deDensity(a float64) float64 {
+	if p.W == -1 && p.WA == 0 {
+		return p.OmegaL
+	}
+	return p.OmegaL * math.Pow(a, -3*(1+p.W+p.WA)) * math.Exp(-3*p.WA*(1-a))
+}
+
+// OmegaMAt returns the matter density fraction at scale factor a.
+func (p Params) OmegaMAt(a float64) float64 {
+	e := p.E(a)
+	return p.OmegaM / (a * a * a * e * e)
+}
+
+// DlnEDlnA returns dln E/dln a, used by the growth ODE.
+func (p Params) DlnEDlnA(a float64) float64 {
+	e2 := p.E(a)
+	e2 *= e2
+	de := p.deDensity(a)
+	// dln ρ_de/dln a = −3(1+w(a)) with w(a) = W + WA(1−a).
+	dde := -3 * (1 + p.W + p.WA*(1-a)) * de
+	num := -3*p.OmegaM/(a*a*a) - 2*p.OmegaK()/(a*a) + dde
+	return num / (2 * e2)
+}
+
+// AFromZ converts redshift to scale factor.
+func AFromZ(z float64) float64 { return 1 / (1 + z) }
+
+// ZFromA converts scale factor to redshift.
+func ZFromA(a float64) float64 { return 1/a - 1 }
+
+// MeanMatterDensity returns the comoving matter density in Msun/h/(Mpc/h)^3.
+func (p Params) MeanMatterDensity() float64 { return p.OmegaM * RhoCrit }
+
+// ParticleMass returns the tracer particle mass in Msun/h for np³ particles
+// in a box of side boxMpc (Mpc/h).
+func (p Params) ParticleMass(np int, boxMpc float64) float64 {
+	v := boxMpc * boxMpc * boxMpc
+	n := float64(np) * float64(np) * float64(np)
+	return p.MeanMatterDensity() * v / n
+}
+
+// simpson integrates f over [a,b] with n (even) intervals.
+func simpson(f func(float64) float64, a, b float64, n int) float64 {
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	sum := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// KickFactor returns ∫ da / (a²E(a)) over [a0,a1]: the momentum update
+// weight for the symplectic integrator (DESIGN.md units: dp/da = -∇ψ/(a²E)).
+func (p Params) KickFactor(a0, a1 float64) float64 {
+	return simpson(func(a float64) float64 { return 1 / (a * a * p.E(a)) }, a0, a1, 256)
+}
+
+// DriftFactor returns ∫ da / (a³E(a)) over [a0,a1]: the position update
+// weight (dx/da = p/(a³E)).
+func (p Params) DriftFactor(a0, a1 float64) float64 {
+	return simpson(func(a float64) float64 { return 1 / (a * a * a * p.E(a)) }, a0, a1, 256)
+}

@@ -1,0 +1,68 @@
+package cosmology
+
+import "math"
+
+// LinearPower is the z=0 linear matter power spectrum P(k) in (Mpc/h)³,
+// k in h/Mpc, normalized to the model's σ8.
+type LinearPower struct {
+	p    Params
+	t    TransferFunc
+	amp  float64
+	Gfac *Growth
+}
+
+// NewLinearPower builds the normalized linear spectrum A·k^ns·T²(k) with the
+// amplitude fixed so that σ(8 Mpc/h) = σ8.
+func NewLinearPower(p Params, t TransferFunc) *LinearPower {
+	lp := &LinearPower{p: p, t: t, amp: 1}
+	s8 := lp.SigmaR(8)
+	lp.amp = (p.Sigma8 / s8) * (p.Sigma8 / s8)
+	lp.Gfac = NewGrowth(p)
+	return lp
+}
+
+// P returns the z=0 linear power at wavenumber k (h/Mpc).
+func (lp *LinearPower) P(k float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	t := lp.t(k)
+	return lp.amp * math.Pow(k, lp.p.NS) * t * t
+}
+
+// PAt returns the linear power at scale factor a: D²(a)·P(k).
+func (lp *LinearPower) PAt(k, a float64) float64 {
+	d := lp.Gfac.D(a)
+	return d * d * lp.P(k)
+}
+
+// tophat is the Fourier transform of the real-space spherical top hat.
+func tophat(x float64) float64 {
+	if x < 1e-6 {
+		return 1 - x*x/10
+	}
+	return 3 * (math.Sin(x) - x*math.Cos(x)) / (x * x * x)
+}
+
+// SigmaR returns the rms linear density fluctuation in spheres of radius
+// R Mpc/h at z=0 (using the current amplitude).
+func (lp *LinearPower) SigmaR(r float64) float64 {
+	// Integrate in ln k; the integrand is strongly peaked near k ~ 1/R.
+	f := func(lnk float64) float64 {
+		k := math.Exp(lnk)
+		w := tophat(k * r)
+		return k * k * k * lp.P(k) * w * w
+	}
+	v := simpson(f, math.Log(1e-5), math.Log(500/r), 2048)
+	return math.Sqrt(v / (2 * math.Pi * math.Pi))
+}
+
+// SigmaM returns σ(M) for mass M in Msun/h via the Lagrangian radius
+// R = (3M/4πρ̄)^⅓.
+func (lp *LinearPower) SigmaM(m float64) float64 {
+	r := math.Cbrt(3 * m / (4 * math.Pi * lp.p.MeanMatterDensity()))
+	return lp.SigmaR(r)
+}
+
+// Params returns the model the spectrum was built for.
+func (lp *LinearPower) Params() Params { return lp.p }

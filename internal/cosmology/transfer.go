@@ -1,0 +1,129 @@
+package cosmology
+
+import "math"
+
+// TransferFunc maps wavenumber k (h/Mpc) to the matter transfer function
+// T(k), normalized to T→1 as k→0.
+type TransferFunc func(k float64) float64
+
+// BBKS returns the Bardeen-Bond-Kaiser-Szalay (1986) transfer function with
+// the Sugiyama (1995) shape parameter. The simplest of the three options;
+// no baryon features.
+func BBKS(p Params) TransferFunc {
+	gamma := p.OmegaM * p.H * math.Exp(-p.OmegaB*(1+math.Sqrt(2*p.H)/p.OmegaM))
+	return func(k float64) float64 {
+		if k <= 0 {
+			return 1
+		}
+		q := k / gamma
+		poly := 1 + 3.89*q + math.Pow(16.1*q, 2) + math.Pow(5.46*q, 3) + math.Pow(6.71*q, 4)
+		return math.Log(1+2.34*q) / (2.34 * q) * math.Pow(poly, -0.25)
+	}
+}
+
+// EisensteinHuNoWiggle returns the Eisenstein & Hu (1998) zero-baryon
+// ("no-wiggle") transfer function, eqs. 26–31: the smooth shape with baryon
+// suppression but without acoustic oscillations.
+func EisensteinHuNoWiggle(p Params) TransferFunc {
+	omh2 := p.OmegaM * p.H * p.H
+	obh2 := p.OmegaB * p.H * p.H
+	theta := p.tcmb() / 2.7
+	fb := p.OmegaB / p.OmegaM
+	// Sound horizon approximation (eq. 26), in Mpc.
+	s := 44.5 * math.Log(9.83/omh2) / math.Sqrt(1+10*math.Pow(obh2, 0.75))
+	alphaG := 1 - 0.328*math.Log(431*omh2)*fb + 0.38*math.Log(22.3*omh2)*fb*fb
+	return func(k float64) float64 {
+		if k <= 0 {
+			return 1
+		}
+		kMpc := k * p.H // 1/Mpc
+		gammaEff := p.OmegaM * p.H * (alphaG + (1-alphaG)/(1+math.Pow(0.43*kMpc*s, 4)))
+		q := k * theta * theta / gammaEff
+		l0 := math.Log(2*math.E + 1.8*q)
+		c0 := 14.2 + 731/(1+62.5*q)
+		return l0 / (l0 + c0*q*q)
+	}
+}
+
+// EisensteinHu returns the full Eisenstein & Hu (1998) transfer function
+// including baryon acoustic oscillations (their eqs. 2–24). This is the
+// spectrum behind the BOSS/BAO science HACC ran on Roadrunner (paper §I).
+func EisensteinHu(p Params) TransferFunc {
+	omh2 := p.OmegaM * p.H * p.H
+	obh2 := p.OmegaB * p.H * p.H
+	fb := p.OmegaB / p.OmegaM
+	fc := 1 - fb
+	theta := p.tcmb() / 2.7
+	t4 := math.Pow(theta, 4)
+
+	zEq := 2.50e4 * omh2 / t4
+	kEq := 7.46e-2 * omh2 / (theta * theta) // 1/Mpc
+
+	b1 := 0.313 * math.Pow(omh2, -0.419) * (1 + 0.607*math.Pow(omh2, 0.674))
+	b2 := 0.238 * math.Pow(omh2, 0.223)
+	zD := 1291 * math.Pow(omh2, 0.251) / (1 + 0.659*math.Pow(omh2, 0.828)) *
+		(1 + b1*math.Pow(obh2, b2))
+
+	rOf := func(z float64) float64 { return 31.5 * obh2 / t4 * (1e3 / z) }
+	rD := rOf(zD)
+	rEq := rOf(zEq)
+
+	s := 2.0 / (3 * kEq) * math.Sqrt(6/rEq) *
+		math.Log((math.Sqrt(1+rD)+math.Sqrt(rD+rEq))/(1+math.Sqrt(rEq)))
+
+	kSilk := 1.6 * math.Pow(obh2, 0.52) * math.Pow(omh2, 0.73) *
+		(1 + math.Pow(10.4*omh2, -0.95)) // 1/Mpc
+
+	a1 := math.Pow(46.9*omh2, 0.670) * (1 + math.Pow(32.1*omh2, -0.532))
+	a2 := math.Pow(12.0*omh2, 0.424) * (1 + math.Pow(45.0*omh2, -0.582))
+	alphaC := math.Pow(a1, -fb) * math.Pow(a2, -fb*fb*fb)
+
+	bb1 := 0.944 / (1 + math.Pow(458*omh2, -0.708))
+	bb2 := math.Pow(0.395*omh2, -0.0266)
+	betaC := 1 / (1 + bb1*(math.Pow(fc, bb2)-1))
+
+	y := (1 + zEq) / (1 + zD)
+	gy := y * (-6*math.Sqrt(1+y) + (2+3*y)*math.Log((math.Sqrt(1+y)+1)/(math.Sqrt(1+y)-1)))
+	alphaB := 2.07 * kEq * s * math.Pow(1+rD, -0.75) * gy
+
+	betaNode := 8.41 * math.Pow(omh2, 0.435)
+	betaB := 0.5 + fb + (3-2*fb)*math.Sqrt(math.Pow(17.2*omh2, 2)+1)
+
+	t0 := func(q, alpha, beta float64) float64 {
+		c := 14.2/alpha + 386/(1+69.9*math.Pow(q, 1.08))
+		l := math.Log(math.E + 1.8*beta*q)
+		return l / (l + c*q*q)
+	}
+
+	return func(k float64) float64 {
+		if k <= 0 {
+			return 1
+		}
+		kMpc := k * p.H // 1/Mpc
+		q := kMpc / (13.41 * kEq)
+		ks := kMpc * s
+
+		// CDM part.
+		f := 1 / (1 + math.Pow(ks/5.4, 4))
+		tc := f*t0(q, 1, betaC) + (1-f)*t0(q, alphaC, betaC)
+
+		// Baryon part.
+		sTilde := s / math.Cbrt(1+math.Pow(betaNode/ks, 3))
+		x := kMpc * sTilde
+		j0 := 1.0
+		if x > 1e-8 {
+			j0 = math.Sin(x) / x
+		}
+		tb := (t0(q, 1, 1)/(1+math.Pow(ks/5.2, 2)) +
+			alphaB/(1+math.Pow(betaB/ks, 3))*math.Exp(-math.Pow(kMpc/kSilk, 1.4))) * j0
+
+		return fb*tb + fc*tc
+	}
+}
+
+func (p Params) tcmb() float64 {
+	if p.TCMB > 0 {
+		return p.TCMB
+	}
+	return 2.725
+}

@@ -1,0 +1,300 @@
+package domain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hacc/internal/grid"
+	"hacc/internal/mpi"
+)
+
+func TestParticlesBasics(t *testing.T) {
+	var p Particles
+	p.Append(1, 2, 3, 4, 5, 6, 7)
+	p.Append(10, 20, 30, 40, 50, 60, 70)
+	if p.Len() != 2 {
+		t.Fatalf("len %d", p.Len())
+	}
+	p.Swap(0, 1)
+	if p.X[0] != 10 || p.ID[1] != 7 {
+		t.Error("swap broken")
+	}
+	p.Truncate(1)
+	if p.Len() != 1 || p.X[0] != 10 {
+		t.Error("truncate broken")
+	}
+	p.Grow(100)
+	if cap(p.X) < 101 {
+		t.Error("grow did not reserve")
+	}
+	p.Reset()
+	if p.Len() != 0 {
+		t.Error("reset broken")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	var p Particles
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		p.Append(rng.Float32(), rng.Float32(), rng.Float32(),
+			rng.Float32(), rng.Float32(), rng.Float32(), uint64(i))
+	}
+	idx := []int{3, 7, 11}
+	f := p.packFloats(idx, [3]float32{1, 2, 3})
+	ids := p.packIDs(idx)
+	var q Particles
+	q.unpack(f, ids)
+	for j, i := range idx {
+		if q.X[j] != p.X[i]+1 || q.Y[j] != p.Y[i]+2 || q.Z[j] != p.Z[i]+3 {
+			t.Errorf("shifted position wrong for %d", j)
+		}
+		if q.Vx[j] != p.Vx[i] || q.ID[j] != p.ID[i] {
+			t.Errorf("payload wrong for %d", j)
+		}
+	}
+}
+
+func TestWrapPos(t *testing.T) {
+	cases := []struct{ in, want float32 }{
+		{-0.5, 7.5}, {0, 0}, {7.999, 7.999}, {8, 0}, {9.25, 1.25}, {-8.5, 7.5}, {16.5, 0.5},
+	}
+	for _, c := range cases {
+		if got := wrapPos(c.in, 8); math.Abs(float64(got-c.want)) > 1e-5 {
+			t.Errorf("wrapPos(%g)=%g want %g", c.in, got, c.want)
+		}
+	}
+}
+
+// scatterLattice fills each rank's Active set with the lattice sites it owns.
+func scatterLattice(d *Domain, npside int, n [3]int) {
+	step := float64(n[0]) / float64(npside)
+	id := uint64(0)
+	for x := 0; x < npside; x++ {
+		for y := 0; y < npside; y++ {
+			for z := 0; z < npside; z++ {
+				px := (float64(x) + 0.5) * step
+				py := (float64(y) + 0.5) * step
+				pz := (float64(z) + 0.5) * step
+				if d.Dec.RankOf(px, py, pz) == d.Comm.Rank() {
+					d.Active.Append(float32(px), float32(py), float32(pz), 0, 0, 0, id)
+				}
+				id++
+			}
+		}
+	}
+}
+
+func TestRefreshCountsAndGeometry(t *testing.T) {
+	n := [3]int{16, 16, 16}
+	const ov = 2.5
+	for _, p := range []int{1, 2, 4, 8} {
+		err := mpi.Run(p, func(c *mpi.Comm) {
+			dec := grid.NewDecomp(n, p)
+			d := New(c, dec, ov)
+			scatterLattice(d, 16, n)
+			if g := d.NGlobal(); g != 16*16*16 {
+				t.Errorf("p=%d: global actives %d", p, g)
+			}
+			d.Refresh()
+			// Every passive particle must lie in the overload shell:
+			// within box+ov but outside the box.
+			b := d.Box
+			for i := 0; i < d.Passive.Len(); i++ {
+				x, y, z := float64(d.Passive.X[i]), float64(d.Passive.Y[i]), float64(d.Passive.Z[i])
+				in := x >= float64(b.Lo[0]) && x < float64(b.Hi[0]) &&
+					y >= float64(b.Lo[1]) && y < float64(b.Hi[1]) &&
+					z >= float64(b.Lo[2]) && z < float64(b.Hi[2])
+				inShell := x >= float64(b.Lo[0])-ov && x < float64(b.Hi[0])+ov &&
+					y >= float64(b.Lo[1])-ov && y < float64(b.Hi[1])+ov &&
+					z >= float64(b.Lo[2])-ov && z < float64(b.Hi[2])+ov
+				if in {
+					t.Errorf("p=%d rank=%d: passive %d inside the box (%g,%g,%g)", p, c.Rank(), i, x, y, z)
+					return
+				}
+				if !inShell {
+					t.Errorf("p=%d rank=%d: passive %d outside the shell (%g,%g,%g)", p, c.Rank(), i, x, y, z)
+					return
+				}
+			}
+			// Exact count: every lattice site within my expanded box but
+			// outside my box must appear exactly once (periodic images).
+			step := float64(n[0]) / 16
+			want := 0
+			for x := 0; x < 16; x++ {
+				for y := 0; y < 16; y++ {
+					for z := 0; z < 16; z++ {
+						px := (float64(x) + 0.5) * step
+						py := (float64(y) + 0.5) * step
+						pz := (float64(z) + 0.5) * step
+						for sx := -1; sx <= 1; sx++ {
+							for sy := -1; sy <= 1; sy++ {
+								for sz := -1; sz <= 1; sz++ {
+									qx := px + float64(sx*n[0])
+									qy := py + float64(sy*n[1])
+									qz := pz + float64(sz*n[2])
+									inExp := qx >= float64(b.Lo[0])-ov && qx < float64(b.Hi[0])+ov &&
+										qy >= float64(b.Lo[1])-ov && qy < float64(b.Hi[1])+ov &&
+										qz >= float64(b.Lo[2])-ov && qz < float64(b.Hi[2])+ov
+									inBox := qx >= float64(b.Lo[0]) && qx < float64(b.Hi[0]) &&
+										qy >= float64(b.Lo[1]) && qy < float64(b.Hi[1]) &&
+										qz >= float64(b.Lo[2]) && qz < float64(b.Hi[2])
+									if inExp && !inBox {
+										want++
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+			if d.Passive.Len() != want {
+				t.Errorf("p=%d rank=%d: passive count %d want %d", p, c.Rank(), d.Passive.Len(), want)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMigrateOwnership(t *testing.T) {
+	n := [3]int{16, 16, 16}
+	err := mpi.Run(4, func(c *mpi.Comm) {
+		dec := grid.NewDecomp(n, 4)
+		d := New(c, dec, 2)
+		scatterLattice(d, 8, n)
+		before := d.NGlobal()
+		// Push every particle by a random displacement (same RNG stream on
+		// each rank would desync; seed by rank).
+		rng := rand.New(rand.NewSource(int64(c.Rank() + 1)))
+		for i := 0; i < d.Active.Len(); i++ {
+			d.Active.X[i] += float32(rng.NormFloat64() * 3)
+			d.Active.Y[i] += float32(rng.NormFloat64() * 3)
+			d.Active.Z[i] += float32(rng.NormFloat64() * 3)
+		}
+		d.Migrate()
+		// All actives in box, total conserved, IDs globally unique.
+		if g := d.NGlobal(); g != before {
+			t.Errorf("global count changed: %d -> %d", before, g)
+		}
+		b := d.Box
+		for i := 0; i < d.Active.Len(); i++ {
+			if !b.Contains(int(d.Active.X[i]), int(d.Active.Y[i]), int(d.Active.Z[i])) {
+				t.Errorf("active %d at (%g,%g,%g) outside box %v", i,
+					d.Active.X[i], d.Active.Y[i], d.Active.Z[i], b)
+				return
+			}
+		}
+		ids := mpi.Gather(c, 0, d.Active.ID)
+		if c.Rank() == 0 {
+			seen := map[uint64]bool{}
+			for _, id := range ids {
+				if seen[id] {
+					t.Errorf("duplicate active ID %d after migration", id)
+				}
+				seen[id] = true
+			}
+			if len(seen) != int(before) {
+				t.Errorf("lost particles: %d unique IDs of %d", len(seen), before)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrateRefreshProperty(t *testing.T) {
+	// Property: after random walks + Migrate + Refresh, (a) actives
+	// partition the ID space, (b) every passive replica's ID exists as an
+	// active somewhere, (c) replica positions equal owner positions up to
+	// the periodic shift.
+	f := func(seed int64) bool {
+		n := [3]int{12, 12, 12}
+		procs := []int{1, 2, 4}[int(uint64(seed)%3)]
+		ok := true
+		err := mpi.Run(procs, func(c *mpi.Comm) {
+			dec := grid.NewDecomp(n, procs)
+			d := New(c, dec, 2)
+			scatterLattice(d, 6, n)
+			rng := rand.New(rand.NewSource(seed + int64(c.Rank())))
+			for step := 0; step < 3; step++ {
+				for i := 0; i < d.Active.Len(); i++ {
+					d.Active.X[i] += float32(rng.NormFloat64())
+					d.Active.Y[i] += float32(rng.NormFloat64())
+					d.Active.Z[i] += float32(rng.NormFloat64())
+				}
+				d.Migrate()
+				d.Refresh()
+			}
+			if d.NGlobal() != 6*6*6 {
+				ok = false
+			}
+			// Gather all actives and passives on rank 0 and cross-check.
+			axs := mpi.Gather(c, 0, d.Active.X)
+			ays := mpi.Gather(c, 0, d.Active.Y)
+			azs := mpi.Gather(c, 0, d.Active.Z)
+			aid := mpi.Gather(c, 0, d.Active.ID)
+			pxs := mpi.Gather(c, 0, d.Passive.X)
+			pys := mpi.Gather(c, 0, d.Passive.Y)
+			pzs := mpi.Gather(c, 0, d.Passive.Z)
+			pid := mpi.Gather(c, 0, d.Passive.ID)
+			if c.Rank() != 0 {
+				return
+			}
+			pos := map[uint64][3]float32{}
+			for i, id := range aid {
+				if _, dup := pos[id]; dup {
+					ok = false
+				}
+				pos[id] = [3]float32{axs[i], ays[i], azs[i]}
+			}
+			for i, id := range pid {
+				owner, exists := pos[id]
+				if !exists {
+					ok = false
+					continue
+				}
+				for dck, pv := range [3]float32{pxs[i], pys[i], pzs[i]} {
+					diff := float64(pv - owner[dck])
+					// Position must match up to a ±12 periodic shift.
+					for diff > 6 {
+						diff -= 12
+					}
+					for diff < -6 {
+						diff += 12
+					}
+					if math.Abs(diff) > 1e-4 {
+						ok = false
+					}
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverloadFractionScale(t *testing.T) {
+	// For a 32³ box split over 8 ranks with ov=2, the shell:volume ratio is
+	// ((16+4)³−16³)/16³ ≈ 0.95; check the measured fraction is near that.
+	n := [3]int{32, 32, 32}
+	err := mpi.Run(8, func(c *mpi.Comm) {
+		dec := grid.NewDecomp(n, 8)
+		d := New(c, dec, 2)
+		scatterLattice(d, 32, n)
+		d.Refresh()
+		want := (20.0*20*20 - 16*16*16) / (16 * 16 * 16)
+		if f := d.OverloadFraction(); math.Abs(f-want) > 0.1*want {
+			t.Errorf("overload fraction %g want ≈%g", f, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+package domain
+
+import (
+	"fmt"
+	"math"
+
+	"hacc/internal/grid"
+	"hacc/internal/mpi"
+	"hacc/internal/pfft"
+)
+
+// Domain owns one rank's particles: the Active set (particles whose
+// canonical position lies inside the rank's box — their mass enters the
+// Poisson solve) and the Passive set (replicas of neighbor particles within
+// the overload shell, stored with unwrapped coordinates adjacent to the
+// box). Passive particles receive the same force updates but are discarded
+// and rebuilt from their owners at every Refresh, so replica divergence is
+// bounded by the refresh cadence (paper §II, Fig. 4).
+type Domain struct {
+	Comm    *mpi.Comm
+	Dec     *grid.Decomp
+	Box     pfft.Box
+	Ov      float64 // overload shell width in grid cells
+	Active  Particles
+	Passive Particles
+
+	// Statistics for the bench harness.
+	Migrated int64 // particles moved to a new owner (lifetime count)
+
+	catches []catch // where my actives must be replicated
+}
+
+// catch says: actives inside box (a sub-box of mine, in my coordinates)
+// must be sent to rank with positions shifted by shift.
+type catch struct {
+	rank  int
+	shift [3]float32
+	box   boxF
+}
+
+type boxF struct{ lo, hi [3]float64 }
+
+func (b boxF) contains(x, y, z float64) bool {
+	return x >= b.lo[0] && x < b.hi[0] &&
+		y >= b.lo[1] && y < b.hi[1] &&
+		z >= b.lo[2] && z < b.hi[2]
+}
+
+// New creates the domain for this rank. Collective over comm (plan
+// construction is deterministic and local; no messages are sent).
+func New(c *mpi.Comm, dec *grid.Decomp, overload float64) *Domain {
+	me := c.Rank()
+	d := &Domain{Comm: c, Dec: dec, Box: dec.Box(me), Ov: overload}
+	if overload <= 0 {
+		panic(fmt.Sprintf("domain: overload width must be positive, got %g", overload))
+	}
+	n := dec.N
+	for i := 0; i < 3; i++ {
+		if 2*overload >= float64(n[i]) {
+			panic(fmt.Sprintf("domain: overload %g too wide for grid %v", overload, n))
+		}
+	}
+	// Build the catch list: for every rank r and every periodic shift s,
+	// the set of my cells within r's box expanded by the overload width.
+	// A particle of mine at position q must appear on r at q+s when
+	// q+s ∈ expand(box_r, ov). Excludes the identity (r==me, s==0).
+	for r := 0; r < dec.NumRanks(); r++ {
+		rb := dec.Box(r)
+		for sx := -1; sx <= 1; sx++ {
+			for sy := -1; sy <= 1; sy++ {
+				for sz := -1; sz <= 1; sz++ {
+					if r == me && sx == 0 && sy == 0 && sz == 0 {
+						continue
+					}
+					shift := [3]float64{float64(sx * n[0]), float64(sy * n[1]), float64(sz * n[2])}
+					var cb boxF
+					empty := false
+					for i := 0; i < 3; i++ {
+						lo := float64(rb.Lo[i]) - overload - shift[i]
+						hi := float64(rb.Hi[i]) + overload - shift[i]
+						lo = math.Max(lo, float64(d.Box.Lo[i]))
+						hi = math.Min(hi, float64(d.Box.Hi[i]))
+						if hi <= lo {
+							empty = true
+							break
+						}
+						cb.lo[i] = lo
+						cb.hi[i] = hi
+					}
+					if empty {
+						continue
+					}
+					d.catches = append(d.catches, catch{
+						rank:  r,
+						shift: [3]float32{float32(shift[0]), float32(shift[1]), float32(shift[2])},
+						box:   cb,
+					})
+				}
+			}
+		}
+	}
+	return d
+}
+
+// wrapPos reduces a coordinate into [0, n).
+func wrapPos(x float32, n int) float32 {
+	fn := float32(n)
+	for x < 0 {
+		x += fn
+	}
+	for x >= fn {
+		x -= fn
+	}
+	return x
+}
+
+// Migrate wraps active positions into the periodic box and transfers
+// particles that left this rank's sub-box to their new owners. Collective.
+func (d *Domain) Migrate() {
+	p := d.Comm.Size()
+	a := &d.Active
+	n := d.Dec.N
+	// Pass 1: wrap and classify (no reordering yet — the send lists hold
+	// indices into the current layout).
+	owners := make([]int, a.Len())
+	dest := make([][]int, p)
+	for i := 0; i < a.Len(); i++ {
+		a.X[i] = wrapPos(a.X[i], n[0])
+		a.Y[i] = wrapPos(a.Y[i], n[1])
+		a.Z[i] = wrapPos(a.Z[i], n[2])
+		r := d.Dec.RankOf(float64(a.X[i]), float64(a.Y[i]), float64(a.Z[i]))
+		owners[i] = r
+		if r != d.Comm.Rank() {
+			dest[r] = append(dest[r], i)
+		}
+	}
+	// Pass 2: pack departures while indices are still valid.
+	sendF := make([][]float32, p)
+	sendI := make([][]uint64, p)
+	var moved int64
+	for r := 0; r < p; r++ {
+		if len(dest[r]) == 0 {
+			continue
+		}
+		sendF[r] = a.packFloats(dest[r], [3]float32{})
+		sendI[r] = a.packIDs(dest[r])
+		moved += int64(len(dest[r]))
+	}
+	// Pass 3: compact the stayers.
+	stay := 0
+	for i := 0; i < a.Len(); i++ {
+		if owners[i] != d.Comm.Rank() {
+			continue
+		}
+		if i != stay {
+			a.Swap(i, stay)
+		}
+		stay++
+	}
+	a.Truncate(stay)
+	recvF := mpi.AllToAll(d.Comm, sendF)
+	recvI := mpi.AllToAll(d.Comm, sendI)
+	for r := 0; r < p; r++ {
+		a.unpack(recvF[r], recvI[r])
+	}
+	d.Migrated += moved
+}
+
+// Refresh rebuilds the passive (overloaded) particle set from the current
+// active particles of all neighbors, replacing any diverged replicas.
+// Collective. Active positions must already be canonical (call Migrate
+// first after any position update).
+func (d *Domain) Refresh() {
+	p := d.Comm.Size()
+	d.Passive.Reset()
+	sendF := make([][]float32, p)
+	sendI := make([][]uint64, p)
+	selfF := []float32(nil)
+	selfI := []uint64(nil)
+	a := &d.Active
+	var idx []int
+	for _, c := range d.catches {
+		idx = idx[:0]
+		for i := 0; i < a.Len(); i++ {
+			if c.box.contains(float64(a.X[i]), float64(a.Y[i]), float64(a.Z[i])) {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		f := a.packFloats(idx, c.shift)
+		ids := a.packIDs(idx)
+		if c.rank == d.Comm.Rank() {
+			selfF = append(selfF, f...)
+			selfI = append(selfI, ids...)
+			continue
+		}
+		sendF[c.rank] = append(sendF[c.rank], f...)
+		sendI[c.rank] = append(sendI[c.rank], ids...)
+	}
+	recvF := mpi.AllToAll(d.Comm, sendF)
+	recvI := mpi.AllToAll(d.Comm, sendI)
+	for r := 0; r < p; r++ {
+		d.Passive.unpack(recvF[r], recvI[r])
+	}
+	d.Passive.unpack(selfF, selfI)
+}
+
+// NGlobal returns the total number of active particles across all ranks.
+// Collective.
+func (d *Domain) NGlobal() int64 {
+	tot := mpi.AllReduce(d.Comm, []int64{int64(d.Active.Len())}, mpi.SumI64)
+	return tot[0]
+}
+
+// MemoryBytes estimates the particle memory held by this rank (actives and
+// passive replicas), for the Table II/III memory columns.
+func (d *Domain) MemoryBytes() int64 {
+	per := int64(6*4 + 8)
+	return per * int64(d.Active.Len()+d.Passive.Len())
+}
+
+// OverloadFraction returns the passive:active particle ratio, the paper's
+// ~10% memory overhead figure for production-scale boxes.
+func (d *Domain) OverloadFraction() float64 {
+	if d.Active.Len() == 0 {
+		return 0
+	}
+	return float64(d.Passive.Len()) / float64(d.Active.Len())
+}

@@ -1,0 +1,119 @@
+// Package domain implements HACC's particle domain organization: a
+// structure-of-arrays particle store (paper §III), the regular 3-D block
+// decomposition, particle migration, and the particle-overloading scheme of
+// Fig. 4 — full replication of neighbor particles within a boundary shell,
+// so the short-range solvers run entirely rank-local and the long-range
+// solver needs no per-step particle communication.
+package domain
+
+// Particles is structure-of-arrays particle storage: three position arrays,
+// three velocity (momentum) arrays, and an identifier array. Positions are
+// in global grid units; momenta are p = a²ẋ in grid units per 1/H0 (see
+// DESIGN.md). Single precision throughout, per HACC's mixed-precision
+// design: only the spectral solver runs in double.
+type Particles struct {
+	X, Y, Z    []float32
+	Vx, Vy, Vz []float32
+	ID         []uint64
+}
+
+// Len returns the number of particles.
+func (p *Particles) Len() int { return len(p.X) }
+
+// Reset empties the store, keeping capacity.
+func (p *Particles) Reset() {
+	p.X = p.X[:0]
+	p.Y = p.Y[:0]
+	p.Z = p.Z[:0]
+	p.Vx = p.Vx[:0]
+	p.Vy = p.Vy[:0]
+	p.Vz = p.Vz[:0]
+	p.ID = p.ID[:0]
+}
+
+// Append adds one particle.
+func (p *Particles) Append(x, y, z, vx, vy, vz float32, id uint64) {
+	p.X = append(p.X, x)
+	p.Y = append(p.Y, y)
+	p.Z = append(p.Z, z)
+	p.Vx = append(p.Vx, vx)
+	p.Vy = append(p.Vy, vy)
+	p.Vz = append(p.Vz, vz)
+	p.ID = append(p.ID, id)
+}
+
+// AppendFrom copies particle i of src.
+func (p *Particles) AppendFrom(src *Particles, i int) {
+	p.Append(src.X[i], src.Y[i], src.Z[i], src.Vx[i], src.Vy[i], src.Vz[i], src.ID[i])
+}
+
+// Swap exchanges particles i and j.
+func (p *Particles) Swap(i, j int) {
+	p.X[i], p.X[j] = p.X[j], p.X[i]
+	p.Y[i], p.Y[j] = p.Y[j], p.Y[i]
+	p.Z[i], p.Z[j] = p.Z[j], p.Z[i]
+	p.Vx[i], p.Vx[j] = p.Vx[j], p.Vx[i]
+	p.Vy[i], p.Vy[j] = p.Vy[j], p.Vy[i]
+	p.Vz[i], p.Vz[j] = p.Vz[j], p.Vz[i]
+	p.ID[i], p.ID[j] = p.ID[j], p.ID[i]
+}
+
+// Truncate shortens the store to n particles.
+func (p *Particles) Truncate(n int) {
+	p.X = p.X[:n]
+	p.Y = p.Y[:n]
+	p.Z = p.Z[:n]
+	p.Vx = p.Vx[:n]
+	p.Vy = p.Vy[:n]
+	p.Vz = p.Vz[:n]
+	p.ID = p.ID[:n]
+}
+
+// Grow ensures capacity for at least n more particles.
+func (p *Particles) Grow(n int) {
+	need := len(p.X) + n
+	if cap(p.X) >= need {
+		return
+	}
+	grow := func(s []float32) []float32 {
+		ns := make([]float32, len(s), need)
+		copy(ns, s)
+		return ns
+	}
+	p.X = grow(p.X)
+	p.Y = grow(p.Y)
+	p.Z = grow(p.Z)
+	p.Vx = grow(p.Vx)
+	p.Vy = grow(p.Vy)
+	p.Vz = grow(p.Vz)
+	ids := make([]uint64, len(p.ID), need)
+	copy(ids, p.ID)
+	p.ID = ids
+}
+
+// packFloats serializes particles [lo,hi) positions+velocities into a flat
+// float32 buffer of stride 6 (used by migration and refresh messages).
+func (p *Particles) packFloats(idx []int, shift [3]float32) []float32 {
+	buf := make([]float32, 0, 6*len(idx))
+	for _, i := range idx {
+		buf = append(buf, p.X[i]+shift[0], p.Y[i]+shift[1], p.Z[i]+shift[2],
+			p.Vx[i], p.Vy[i], p.Vz[i])
+	}
+	return buf
+}
+
+func (p *Particles) packIDs(idx []int) []uint64 {
+	buf := make([]uint64, 0, len(idx))
+	for _, i := range idx {
+		buf = append(buf, p.ID[i])
+	}
+	return buf
+}
+
+// unpack appends particles from paired float/id buffers.
+func (p *Particles) unpack(fl []float32, ids []uint64) {
+	for i, id := range ids {
+		b := fl[6*i:]
+		p.Append(b[0], b[1], b[2], b[3], b[4], b[5], id)
+	}
+}

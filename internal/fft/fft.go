@@ -1,0 +1,220 @@
+// Package fft provides complex-to-complex fast Fourier transforms of
+// arbitrary length, built from scratch: a mixed-radix Cooley-Tukey
+// decomposition with specialized radix-2/3/4 butterflies, generic small-prime
+// butterflies, and Bluestein's chirp-z algorithm for lengths containing large
+// prime factors. HACC deliberately avoids vendor FFT libraries (paper §I);
+// this package plays the role of its hand-rolled FFT.
+//
+// A Plan is immutable after creation and safe for concurrent use by multiple
+// goroutines; per-call scratch comes from an internal pool.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// maxSmallFactor is the largest prime handled by the generic O(f²) butterfly;
+// larger factors fall through to Bluestein.
+const maxSmallFactor = 31
+
+// Plan holds precomputed twiddle factors and the factorization of n.
+type Plan struct {
+	n       int
+	factors []int        // small factors in recursion order; product*blue == n
+	tw      []complex128 // tw[k] = exp(-2πi k/n)
+	blue    *bluestein   // non-nil when a cofactor > maxSmallFactor remains
+	maxF    int          // largest small factor (scratch sizing)
+	scratch sync.Pool
+}
+
+// NewPlan creates a plan for transforms of length n.
+func NewPlan(n int) *Plan {
+	if n <= 0 {
+		panic(fmt.Sprintf("fft: invalid length %d", n))
+	}
+	p := &Plan{n: n}
+	// Factor n: prefer radix 4, then 2, 3, 5, 7, then remaining primes.
+	rem := n
+	for rem%4 == 0 {
+		p.factors = append(p.factors, 4)
+		rem /= 4
+	}
+	for _, f := range []int{2, 3, 5, 7} {
+		for rem%f == 0 {
+			p.factors = append(p.factors, f)
+			rem /= f
+		}
+	}
+	for f := 11; f*f <= rem && f <= maxSmallFactor; f += 2 {
+		for rem%f == 0 {
+			p.factors = append(p.factors, f)
+			rem /= f
+		}
+	}
+	if rem > 1 && rem <= maxSmallFactor {
+		p.factors = append(p.factors, rem)
+		rem = 1
+	}
+	if rem > 1 {
+		// The remaining cofactor (a large prime or product of large primes)
+		// is transformed with Bluestein's algorithm at the recursion leaf.
+		p.blue = newBluestein(rem)
+	}
+	p.maxF = 1
+	for _, f := range p.factors {
+		if f > p.maxF {
+			p.maxF = f
+		}
+	}
+	p.tw = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.tw[k] = complex(c, s)
+	}
+	p.scratch.New = func() any {
+		buf := make([]complex128, n+p.maxF)
+		return &buf
+	}
+	return p
+}
+
+// N returns the transform length.
+func (p *Plan) N() int { return p.n }
+
+// Forward computes the in-place forward DFT: X[k] = Σ_j x[j]·exp(-2πi jk/n).
+func (p *Plan) Forward(data []complex128) {
+	p.check(data)
+	bufp := p.scratch.Get().(*[]complex128)
+	buf := *bufp
+	p.rec(buf[:p.n], data, p.n, 1, 1, p.factors, buf[p.n:])
+	copy(data, buf[:p.n])
+	p.scratch.Put(bufp)
+}
+
+// Inverse computes the in-place inverse DFT, scaled by 1/n, so that
+// Inverse(Forward(x)) == x.
+func (p *Plan) Inverse(data []complex128) {
+	p.check(data)
+	for i, v := range data {
+		data[i] = complex(real(v), -imag(v))
+	}
+	p.Forward(data)
+	inv := 1 / float64(p.n)
+	for i, v := range data {
+		data[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
+}
+
+// ForwardBatch applies the forward transform to rows contiguous rows of
+// length n stored back to back in data.
+func (p *Plan) ForwardBatch(data []complex128, rows int) {
+	if len(data) != rows*p.n {
+		panic(fmt.Sprintf("fft: batch length %d != %d rows × %d", len(data), rows, p.n))
+	}
+	for r := 0; r < rows; r++ {
+		p.Forward(data[r*p.n : (r+1)*p.n])
+	}
+}
+
+// InverseBatch applies the inverse transform to contiguous rows.
+func (p *Plan) InverseBatch(data []complex128, rows int) {
+	if len(data) != rows*p.n {
+		panic(fmt.Sprintf("fft: batch length %d != %d rows × %d", len(data), rows, p.n))
+	}
+	for r := 0; r < rows; r++ {
+		p.Inverse(data[r*p.n : (r+1)*p.n])
+	}
+}
+
+func (p *Plan) check(data []complex128) {
+	if len(data) != p.n {
+		panic(fmt.Sprintf("fft: data length %d != plan length %d", len(data), p.n))
+	}
+}
+
+// rec computes the DFT of the strided sequence src[0], src[s], … (length n)
+// into the contiguous dst. tmul relates this level's twiddles to the global
+// table: ω_n^k = tw[(k·tmul) mod N]. tmp provides maxF scratch entries.
+func (p *Plan) rec(dst, src []complex128, n, s, tmul int, factors []int, tmp []complex128) {
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	if len(factors) == 0 {
+		// Large-prime cofactor: gather the strided input and run Bluestein.
+		for j := 0; j < n; j++ {
+			dst[j] = src[j*s]
+		}
+		p.blue.transform(dst)
+		return
+	}
+	f := factors[0]
+	m := n / f
+	for j := 0; j < f; j++ {
+		p.rec(dst[j*m:(j+1)*m], src[j*s:], m, s*f, tmul*f, factors[1:], tmp)
+	}
+	N := p.n
+	tw := p.tw
+	switch f {
+	case 2:
+		for k1 := 0; k1 < m; k1++ {
+			t0 := dst[k1]
+			t1 := dst[m+k1] * tw[(k1*tmul)%N]
+			dst[k1] = t0 + t1
+			dst[m+k1] = t0 - t1
+		}
+	case 4:
+		for k1 := 0; k1 < m; k1++ {
+			w1 := tw[(k1*tmul)%N]
+			w2 := tw[(2*k1*tmul)%N]
+			w3 := tw[(3*k1*tmul)%N]
+			t0 := dst[k1]
+			t1 := dst[m+k1] * w1
+			t2 := dst[2*m+k1] * w2
+			t3 := dst[3*m+k1] * w3
+			a := t0 + t2
+			b := t0 - t2
+			cc := t1 + t3
+			d := t1 - t3
+			// -i*d and +i*d spelled out.
+			id := complex(imag(d), -real(d))
+			dst[k1] = a + cc
+			dst[m+k1] = b + id
+			dst[2*m+k1] = a - cc
+			dst[3*m+k1] = b - id
+		}
+	case 3:
+		// ω_3 = -1/2 - i√3/2
+		const half = 0.5
+		sq := math.Sqrt(3) / 2
+		for k1 := 0; k1 < m; k1++ {
+			t0 := dst[k1]
+			t1 := dst[m+k1] * tw[(k1*tmul)%N]
+			t2 := dst[2*m+k1] * tw[(2*k1*tmul)%N]
+			sum := t1 + t2
+			diff := t1 - t2
+			// X1 = t0 + ω t1 + ω² t2, X2 = t0 + ω² t1 + ω t2
+			re := complex(-half*real(sum), -half*imag(sum))
+			im := complex(sq*imag(diff), -sq*real(diff))
+			dst[k1] = t0 + sum
+			dst[m+k1] = t0 + re + im
+			dst[2*m+k1] = t0 + re - im
+		}
+	default:
+		for k1 := 0; k1 < m; k1++ {
+			for j := 0; j < f; j++ {
+				tmp[j] = dst[j*m+k1] * tw[(j*k1*tmul)%N]
+			}
+			wstep := m * tmul // ω_f = ω_n^{m}
+			for k2 := 0; k2 < f; k2++ {
+				sum := tmp[0]
+				for j := 1; j < f; j++ {
+					sum += tmp[j] * tw[(j*k2*wstep)%N]
+				}
+				dst[k2*m+k1] = sum
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package fft
+
+import "fmt"
+
+// Plan3 performs serial 3-D complex transforms on an n0×n1×n2 array stored
+// row-major (index = (i0·n1 + i1)·n2 + i2). It is used by tests and by
+// single-rank runs; distributed transforms live in package pfft.
+type Plan3 struct {
+	n0, n1, n2 int
+	p0, p1, p2 *Plan
+}
+
+// NewPlan3 creates a 3-D plan. Dimensions may differ and need not be powers
+// of two.
+func NewPlan3(n0, n1, n2 int) *Plan3 {
+	p := &Plan3{n0: n0, n1: n1, n2: n2}
+	p.p2 = NewPlan(n2)
+	if n1 == n2 {
+		p.p1 = p.p2
+	} else {
+		p.p1 = NewPlan(n1)
+	}
+	switch {
+	case n0 == n2:
+		p.p0 = p.p2
+	case n0 == n1:
+		p.p0 = p.p1
+	default:
+		p.p0 = NewPlan(n0)
+	}
+	return p
+}
+
+// Len returns the total number of elements n0·n1·n2.
+func (p *Plan3) Len() int { return p.n0 * p.n1 * p.n2 }
+
+// Forward computes the in-place 3-D forward DFT.
+func (p *Plan3) Forward(data []complex128) { p.apply(data, false) }
+
+// Inverse computes the in-place 3-D inverse DFT scaled by 1/(n0·n1·n2).
+func (p *Plan3) Inverse(data []complex128) { p.apply(data, true) }
+
+func (p *Plan3) apply(data []complex128, inverse bool) {
+	if len(data) != p.Len() {
+		panic(fmt.Sprintf("fft: 3d data length %d != %d", len(data), p.Len()))
+	}
+	n0, n1, n2 := p.n0, p.n1, p.n2
+	do := func(pl *Plan, row []complex128) {
+		if inverse {
+			pl.Inverse(row)
+		} else {
+			pl.Forward(row)
+		}
+	}
+	// Axis 2: contiguous rows.
+	for r := 0; r < n0*n1; r++ {
+		do(p.p2, data[r*n2:(r+1)*n2])
+	}
+	// Axis 1: stride n2 within each i0 plane.
+	row1 := make([]complex128, n1)
+	for i0 := 0; i0 < n0; i0++ {
+		base := i0 * n1 * n2
+		for i2 := 0; i2 < n2; i2++ {
+			for i1 := 0; i1 < n1; i1++ {
+				row1[i1] = data[base+i1*n2+i2]
+			}
+			do(p.p1, row1)
+			for i1 := 0; i1 < n1; i1++ {
+				data[base+i1*n2+i2] = row1[i1]
+			}
+		}
+	}
+	// Axis 0: stride n1·n2.
+	row0 := make([]complex128, n0)
+	s := n1 * n2
+	for i1 := 0; i1 < n1; i1++ {
+		for i2 := 0; i2 < n2; i2++ {
+			off := i1*n2 + i2
+			for i0 := 0; i0 < n0; i0++ {
+				row0[i0] = data[off+i0*s]
+			}
+			do(p.p0, row0)
+			for i0 := 0; i0 < n0; i0++ {
+				data[off+i0*s] = row0[i0]
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package grid
+
+import (
+	"fmt"
+
+	"hacc/internal/mpi"
+)
+
+const tagGhostPlan = 11
+
+// Exchanger moves ghost-cell data between neighboring ranks of a block
+// decomposition. One plan serves both directions:
+//
+//   - Accumulate: ghost contributions (e.g. CIC deposit spill) are added
+//     into the owning rank's interior cells, then ghosts are zeroed.
+//   - Fill: interior values are copied outward into neighbors' ghost halos
+//     (e.g. before force interpolation of overloaded particles).
+//
+// The plan is built once per (decomposition, ghost width) and reused every
+// step; only values move afterwards.
+type Exchanger struct {
+	comm *mpi.Comm
+	// ghostSlots[r] lists my local ghost storage indices whose canonical
+	// cell is owned by rank r; ownedIdx[r] lists my interior storage indices
+	// that rank r's ghost slots mirror (in r's canonical order).
+	ghostSlots [][]int
+	ownedIdx   [][]int
+	// Self-wrap pairs (periodic images landing on the same rank).
+	selfGhost []int
+	selfOwned []int
+}
+
+// NewExchanger builds an exchange plan. Collective over comm; the field f
+// supplies the local box shape and ghost width (its data is not touched).
+func NewExchanger(c *mpi.Comm, d *Decomp, f *Field) *Exchanger {
+	p := c.Size()
+	me := c.Rank()
+	e := &Exchanger{
+		comm:       c,
+		ghostSlots: make([][]int, p),
+		ownedIdx:   make([][]int, p),
+	}
+	coords := make([][]int32, p) // canonical cell coords sent to each owner
+	g := f.Ghost
+	for lx := -g; lx < f.size[0]+g; lx++ {
+		for ly := -g; ly < f.size[1]+g; ly++ {
+			for lz := -g; lz < f.size[2]+g; lz++ {
+				interior := lx >= 0 && lx < f.size[0] &&
+					ly >= 0 && ly < f.size[1] &&
+					lz >= 0 && lz < f.size[2]
+				if interior {
+					continue
+				}
+				cx := wrap(f.Box.Lo[0]+lx, f.N[0])
+				cy := wrap(f.Box.Lo[1]+ly, f.N[1])
+				cz := wrap(f.Box.Lo[2]+lz, f.N[2])
+				owner := d.RankOf(float64(cx), float64(cy), float64(cz))
+				slot := ((lx+g)*f.ext[1]+ly+g)*f.ext[2] + lz + g
+				if owner == me {
+					e.selfGhost = append(e.selfGhost, slot)
+					e.selfOwned = append(e.selfOwned, f.index(cx, cy, cz))
+					continue
+				}
+				e.ghostSlots[owner] = append(e.ghostSlots[owner], slot)
+				coords[owner] = append(coords[owner], int32(cx), int32(cy), int32(cz))
+			}
+		}
+	}
+	// Owners translate requested coordinates to interior indices.
+	recvd := mpi.AllToAll(c, coords)
+	for r := 0; r < p; r++ {
+		cs := recvd[r]
+		idx := make([]int, len(cs)/3)
+		for i := range idx {
+			x, y, z := int(cs[3*i]), int(cs[3*i+1]), int(cs[3*i+2])
+			if !f.Box.Contains(x, y, z) {
+				panic(fmt.Sprintf("grid: rank %d asked rank %d for non-owned cell (%d,%d,%d)", r, me, x, y, z))
+			}
+			idx[i] = f.index(x, y, z)
+		}
+		e.ownedIdx[r] = idx
+	}
+	_ = tagGhostPlan
+	return e
+}
+
+// Accumulate adds every ghost value into its owning cell (local pairs and
+// remote ranks alike), then zeroes the ghost halo. Collective.
+func (e *Exchanger) Accumulate(f *Field) {
+	p := e.comm.Size()
+	send := make([][]float64, p)
+	for r := 0; r < p; r++ {
+		if len(e.ghostSlots[r]) == 0 {
+			continue
+		}
+		buf := make([]float64, len(e.ghostSlots[r]))
+		for i, s := range e.ghostSlots[r] {
+			buf[i] = f.Data[s]
+		}
+		send[r] = buf
+	}
+	recv := mpi.AllToAll(e.comm, send)
+	for r := 0; r < p; r++ {
+		for i, idx := range e.ownedIdx[r] {
+			f.Data[idx] += recv[r][i]
+		}
+	}
+	for i, s := range e.selfGhost {
+		f.Data[e.selfOwned[i]] += f.Data[s]
+	}
+	f.ZeroGhosts()
+}
+
+// Fill copies interior values outward so every ghost slot holds the
+// periodic value of its canonical cell. Collective.
+func (e *Exchanger) Fill(f *Field) {
+	p := e.comm.Size()
+	send := make([][]float64, p)
+	for r := 0; r < p; r++ {
+		if len(e.ownedIdx[r]) == 0 {
+			continue
+		}
+		buf := make([]float64, len(e.ownedIdx[r]))
+		for i, idx := range e.ownedIdx[r] {
+			buf[i] = f.Data[idx]
+		}
+		send[r] = buf
+	}
+	recv := mpi.AllToAll(e.comm, send)
+	for r := 0; r < p; r++ {
+		for i, s := range e.ghostSlots[r] {
+			f.Data[s] = recv[r][i]
+		}
+	}
+	for i, s := range e.selfGhost {
+		f.Data[s] = f.Data[e.selfOwned[i]]
+	}
+}
+
+func wrap(x, n int) int { return ((x % n) + n) % n }

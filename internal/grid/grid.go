@@ -1,0 +1,203 @@
+// Package grid provides distributed scalar fields on a regular 3-D mesh with
+// a block domain decomposition, periodic ghost-cell exchange, and Cloud-In-
+// Cell (CIC) particle deposit/interpolation (Hockney & Eastwood 1988), the
+// grid layer under HACC's spectral particle-mesh solver (paper §II).
+package grid
+
+import (
+	"fmt"
+
+	"hacc/internal/mpi"
+	"hacc/internal/pfft"
+)
+
+// Decomp is the regular (possibly non-cubic) 3-D block decomposition of an
+// N[0]×N[1]×N[2] periodic grid over a Dims[0]×Dims[1]×Dims[2] process grid.
+type Decomp struct {
+	N    [3]int
+	Dims [3]int
+	lay  *pfft.Layout
+}
+
+// NewDecomp builds a decomposition for the given communicator size with a
+// balanced process grid, or with explicit dims when provided.
+func NewDecomp(n [3]int, size int, dims ...int) *Decomp {
+	var d [3]int
+	if len(dims) == 3 {
+		d = [3]int{dims[0], dims[1], dims[2]}
+	} else {
+		b := mpi.BalancedDims(size, 3)
+		d = [3]int{b[0], b[1], b[2]}
+	}
+	if d[0]*d[1]*d[2] != size {
+		panic(fmt.Sprintf("grid: process grid %v != size %d", d, size))
+	}
+	for i := 0; i < 3; i++ {
+		if d[i] > n[i] {
+			panic(fmt.Sprintf("grid: process grid %v exceeds grid %v", d, n))
+		}
+	}
+	return &Decomp{N: n, Dims: d, lay: pfft.Block3D(n, d)}
+}
+
+// Layout returns the block layout (one box per rank, z fastest storage).
+func (d *Decomp) Layout() *pfft.Layout { return d.lay }
+
+// Box returns the box owned by a rank.
+func (d *Decomp) Box(rank int) pfft.Box { return d.lay.Boxes[rank] }
+
+// NumRanks returns the total number of ranks in the decomposition.
+func (d *Decomp) NumRanks() int { return len(d.lay.Boxes) }
+
+// RankOf returns the owner rank of the (periodically wrapped) position.
+func (d *Decomp) RankOf(x, y, z float64) int {
+	g := [3]float64{x, y, z}
+	var co [3]int
+	for i := 0; i < 3; i++ {
+		n := d.N[i]
+		v := int(g[i])
+		v = ((v % n) + n) % n
+		// Process coordinate from the chunk map: chunks are i*n/p..(i+1)n/p,
+		// so the owner is the largest c with c*n/p <= v.
+		c := (v*d.Dims[i] + d.Dims[i] - 1) / n
+		for c*n/d.Dims[i] > v {
+			c--
+		}
+		for (c+1)*n/d.Dims[i] <= v {
+			c++
+		}
+		co[i] = c
+	}
+	return (co[0]*d.Dims[1]+co[1])*d.Dims[2] + co[2]
+}
+
+// Field is one rank's block of a distributed scalar field, with ghost cells
+// of width Ghost on every side. Storage is row-major (x, y, z) with z
+// fastest, including ghosts.
+type Field struct {
+	N     [3]int
+	Box   pfft.Box
+	Ghost int
+	Data  []float64
+
+	size [3]int // owned sizes
+	ext  [3]int // extended sizes (owned + 2*ghost)
+}
+
+// NewField allocates a zeroed field for the given owned box.
+func NewField(n [3]int, box pfft.Box, ghost int) *Field {
+	f := &Field{N: n, Box: box, Ghost: ghost}
+	for i := 0; i < 3; i++ {
+		f.size[i] = box.Size(i)
+		f.ext[i] = f.size[i] + 2*ghost
+		if ghost >= n[i] {
+			panic(fmt.Sprintf("grid: ghost width %d too large for grid %v", ghost, n))
+		}
+	}
+	f.Data = make([]float64, f.ext[0]*f.ext[1]*f.ext[2])
+	return f
+}
+
+// localCoord reduces a global coordinate along one axis to a local extended
+// coordinate in [-ghost, size+ghost), wrapping periodically. Owned cells are
+// preferred over ghost aliases, so writes to owned coordinates always hit
+// the interior even when the halo wraps onto the same rank.
+func localCoord(x, lo, size, n, ghost int) int {
+	d := x - lo
+	dm := ((d % n) + n) % n
+	switch {
+	case dm < size:
+		return dm
+	case dm-n >= -ghost:
+		return dm - n
+	case dm < size+ghost:
+		return dm
+	}
+	panic(fmt.Sprintf("grid: coordinate %d outside box [%d,%d)+ghost %d (n=%d)", x, lo, lo+size, ghost, n))
+}
+
+// index converts global cell coordinates (possibly in the ghost halo,
+// possibly wrapped across the periodic boundary) to a local storage index.
+func (f *Field) index(x, y, z int) int {
+	lx := localCoord(x, f.Box.Lo[0], f.size[0], f.N[0], f.Ghost) + f.Ghost
+	ly := localCoord(y, f.Box.Lo[1], f.size[1], f.N[1], f.Ghost) + f.Ghost
+	lz := localCoord(z, f.Box.Lo[2], f.size[2], f.N[2], f.Ghost) + f.Ghost
+	return (lx*f.ext[1]+ly)*f.ext[2] + lz
+}
+
+// At returns the value at global cell coordinates.
+func (f *Field) At(x, y, z int) float64 { return f.Data[f.index(x, y, z)] }
+
+// Set stores a value at global cell coordinates.
+func (f *Field) Set(x, y, z int, v float64) { f.Data[f.index(x, y, z)] = v }
+
+// Add accumulates into the cell at global coordinates.
+func (f *Field) Add(x, y, z int, v float64) { f.Data[f.index(x, y, z)] += v }
+
+// Fill sets every element (including ghosts) to v.
+func (f *Field) Fill(v float64) {
+	for i := range f.Data {
+		f.Data[i] = v
+	}
+}
+
+// Owned extracts the interior (owned) region as a contiguous array in the
+// canonical block-layout order (z fastest), ready for pfft.Redistribute.
+func (f *Field) Owned() []float64 {
+	out := make([]float64, f.size[0]*f.size[1]*f.size[2])
+	k := 0
+	for x := 0; x < f.size[0]; x++ {
+		for y := 0; y < f.size[1]; y++ {
+			base := ((x+f.Ghost)*f.ext[1]+y+f.Ghost)*f.ext[2] + f.Ghost
+			copy(out[k:k+f.size[2]], f.Data[base:base+f.size[2]])
+			k += f.size[2]
+		}
+	}
+	return out
+}
+
+// SetOwned stores a contiguous owned-region array (block-layout order) back
+// into the field interior; ghosts are left untouched.
+func (f *Field) SetOwned(v []float64) {
+	if len(v) != f.size[0]*f.size[1]*f.size[2] {
+		panic(fmt.Sprintf("grid: SetOwned length %d != %d", len(v), f.size[0]*f.size[1]*f.size[2]))
+	}
+	k := 0
+	for x := 0; x < f.size[0]; x++ {
+		for y := 0; y < f.size[1]; y++ {
+			base := ((x+f.Ghost)*f.ext[1]+y+f.Ghost)*f.ext[2] + f.Ghost
+			copy(f.Data[base:base+f.size[2]], v[k:k+f.size[2]])
+			k += f.size[2]
+		}
+	}
+}
+
+// ZeroGhosts clears the ghost halo.
+func (f *Field) ZeroGhosts() {
+	for x := 0; x < f.ext[0]; x++ {
+		for y := 0; y < f.ext[1]; y++ {
+			for z := 0; z < f.ext[2]; z++ {
+				if x >= f.Ghost && x < f.ext[0]-f.Ghost &&
+					y >= f.Ghost && y < f.ext[1]-f.Ghost &&
+					z >= f.Ghost && z < f.ext[2]-f.Ghost {
+					continue
+				}
+				f.Data[(x*f.ext[1]+y)*f.ext[2]+z] = 0
+			}
+		}
+	}
+}
+
+// TotalOwned sums the interior cells (diagnostic).
+func (f *Field) TotalOwned() float64 {
+	var s float64
+	for x := 0; x < f.size[0]; x++ {
+		for y := 0; y < f.size[1]; y++ {
+			base := ((x+f.Ghost)*f.ext[1]+y+f.Ghost)*f.ext[2] + f.Ghost
+			for z := 0; z < f.size[2]; z++ {
+				s += f.Data[base+z]
+			}
+		}
+	}
+	return s
+}

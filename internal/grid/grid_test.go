@@ -1,0 +1,410 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hacc/internal/mpi"
+)
+
+func TestDecompPartition(t *testing.T) {
+	n := [3]int{16, 12, 8}
+	d := NewDecomp(n, 6, 3, 2, 1)
+	total := 0
+	for r := 0; r < 6; r++ {
+		total += d.Box(r).Count()
+	}
+	if total != 16*12*8 {
+		t.Errorf("boxes cover %d cells, want %d", total, 16*12*8)
+	}
+}
+
+func TestRankOfConsistent(t *testing.T) {
+	n := [3]int{10, 10, 10}
+	d := NewDecomp(n, 8, 2, 2, 2)
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			for z := 0; z < 10; z++ {
+				r := d.RankOf(float64(x), float64(y), float64(z))
+				if !d.Box(r).Contains(x, y, z) {
+					t.Fatalf("RankOf(%d,%d,%d)=%d but box %v", x, y, z, r, d.Box(r))
+				}
+			}
+		}
+	}
+	// Periodic wrapping of positions.
+	if d.RankOf(-1, 0, 0) != d.RankOf(9, 0, 0) {
+		t.Error("negative positions must wrap")
+	}
+	if d.RankOf(10.5, 3, 3) != d.RankOf(0.5, 3, 3) {
+		t.Error("positions past the box must wrap")
+	}
+}
+
+func TestRankOfProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := [3]int{8 + rng.Intn(9), 8 + rng.Intn(9), 8 + rng.Intn(9)}
+		sizes := []int{1, 2, 3, 4, 6, 8}
+		p := sizes[rng.Intn(len(sizes))]
+		d := NewDecomp(n, p)
+		for i := 0; i < 50; i++ {
+			x := rng.Float64() * float64(n[0])
+			y := rng.Float64() * float64(n[1])
+			z := rng.Float64() * float64(n[2])
+			r := d.RankOf(x, y, z)
+			if !d.Box(r).Contains(int(x), int(y), int(z)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldIndexOwnedAndGhost(t *testing.T) {
+	n := [3]int{8, 8, 8}
+	box := NewDecomp(n, 2, 2, 1, 1).Box(0) // x in [0,4)
+	f := NewField(n, box, 2)
+	// Owned cells round trip through Set/At.
+	f.Set(3, 7, 0, 42)
+	if f.At(3, 7, 0) != 42 {
+		t.Error("owned set/get failed")
+	}
+	// Ghost coordinates wrap: x=7 is the left ghost (periodic image of -1).
+	f.Set(7, 0, 0, 7)
+	if f.At(-1, 0, 0) != 7 {
+		t.Error("ghost alias -1 vs 7 differ")
+	}
+	// Owned() excludes ghosts.
+	owned := f.Owned()
+	if len(owned) != 4*8*8 {
+		t.Errorf("owned size %d", len(owned))
+	}
+	var s float64
+	for _, v := range owned {
+		s += v
+	}
+	if s != 42 {
+		t.Errorf("owned sum %g (ghost leaked in?)", s)
+	}
+}
+
+func TestOwnedRoundTrip(t *testing.T) {
+	n := [3]int{6, 5, 4}
+	box := NewDecomp(n, 1).Box(0)
+	f := NewField(n, box, 1)
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 6*5*4)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	f.SetOwned(vals)
+	got := f.Owned()
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("round trip differs at %d", i)
+		}
+	}
+}
+
+func TestExchangerAccumulate(t *testing.T) {
+	n := [3]int{8, 8, 8}
+	for _, p := range []int{1, 2, 4, 8} {
+		err := mpi.Run(p, func(c *mpi.Comm) {
+			d := NewDecomp(n, p)
+			f := NewField(n, d.Box(c.Rank()), 2)
+			ex := NewExchanger(c, d, f)
+			// Write 1 into every extended cell (owned + ghosts); after
+			// accumulation each owned cell must hold 1 + the number of
+			// ghost images of that cell across all ranks' halos.
+			f.Fill(1)
+			ex.Accumulate(f)
+			// Brute-force reference count over every rank's halo.
+			wantCount := make([]float64, n[0]*n[1]*n[2])
+			for i := range wantCount {
+				wantCount[i] = 1
+			}
+			for r := 0; r < p; r++ {
+				b := d.Box(r)
+				for lx := -2; lx < b.Size(0)+2; lx++ {
+					for ly := -2; ly < b.Size(1)+2; ly++ {
+						for lz := -2; lz < b.Size(2)+2; lz++ {
+							if lx >= 0 && lx < b.Size(0) && ly >= 0 && ly < b.Size(1) && lz >= 0 && lz < b.Size(2) {
+								continue
+							}
+							cx := wrap(b.Lo[0]+lx, n[0])
+							cy := wrap(b.Lo[1]+ly, n[1])
+							cz := wrap(b.Lo[2]+lz, n[2])
+							wantCount[(cx*n[1]+cy)*n[2]+cz]++
+						}
+					}
+				}
+			}
+			bx := f.Box
+			for x := bx.Lo[0]; x < bx.Hi[0]; x++ {
+				for y := bx.Lo[1]; y < bx.Hi[1]; y++ {
+					for z := bx.Lo[2]; z < bx.Hi[2]; z++ {
+						want := wantCount[(x*n[1]+y)*n[2]+z]
+						if got := f.At(x, y, z); math.Abs(got-want) > 1e-12 {
+							t.Errorf("p=%d rank=%d cell (%d,%d,%d): %g != %g", p, c.Rank(), x, y, z, got, want)
+							return
+						}
+					}
+				}
+			}
+			tot := mpi.AllReduce(c, []float64{f.TotalOwned()}, mpi.SumF64)
+			extVol := 0.0
+			for r := 0; r < p; r++ {
+				b := d.Box(r)
+				extVol += float64((b.Size(0) + 4) * (b.Size(1) + 4) * (b.Size(2) + 4))
+			}
+			if math.Abs(tot[0]-extVol) > 1e-9 {
+				t.Errorf("p=%d: mass %g != extended volume %g", p, tot[0], extVol)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExchangerFill(t *testing.T) {
+	n := [3]int{8, 8, 8}
+	for _, p := range []int{1, 2, 4, 8} {
+		err := mpi.Run(p, func(c *mpi.Comm) {
+			d := NewDecomp(n, p)
+			f := NewField(n, d.Box(c.Rank()), 2)
+			ex := NewExchanger(c, d, f)
+			// Unique global pattern: v(x,y,z) = x + 10y + 100z.
+			b := f.Box
+			for x := b.Lo[0]; x < b.Hi[0]; x++ {
+				for y := b.Lo[1]; y < b.Hi[1]; y++ {
+					for z := b.Lo[2]; z < b.Hi[2]; z++ {
+						f.Set(x, y, z, float64(x+10*y+100*z))
+					}
+				}
+			}
+			ex.Fill(f)
+			// Every extended cell must hold the canonical value.
+			g := f.Ghost
+			for lx := -g; lx < f.size[0]+g; lx++ {
+				for ly := -g; ly < f.size[1]+g; ly++ {
+					for lz := -g; lz < f.size[2]+g; lz++ {
+						cx := wrap(b.Lo[0]+lx, n[0])
+						cy := wrap(b.Lo[1]+ly, n[1])
+						cz := wrap(b.Lo[2]+lz, n[2])
+						want := float64(cx + 10*cy + 100*cz)
+						got := f.Data[((lx+g)*f.ext[1]+ly+g)*f.ext[2]+lz+g]
+						if got != want {
+							t.Errorf("p=%d rank=%d ext (%d,%d,%d): got %g want %g",
+								p, c.Rank(), lx, ly, lz, got, want)
+							return
+						}
+					}
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDepositMassConservation(t *testing.T) {
+	n := [3]int{8, 8, 8}
+	for _, p := range []int{1, 4} {
+		err := mpi.Run(p, func(c *mpi.Comm) {
+			d := NewDecomp(n, p)
+			b := d.Box(c.Rank())
+			f := NewField(n, b, 1)
+			ex := NewExchanger(c, d, f)
+			rng := rand.New(rand.NewSource(int64(c.Rank())))
+			// 100 particles per rank inside the owned box, including near edges.
+			np := 100
+			xs := make([]float32, np)
+			ys := make([]float32, np)
+			zs := make([]float32, np)
+			for i := 0; i < np; i++ {
+				xs[i] = float32(float64(b.Lo[0]) + rng.Float64()*float64(b.Size(0)))
+				ys[i] = float32(float64(b.Lo[1]) + rng.Float64()*float64(b.Size(1)))
+				zs[i] = float32(float64(b.Lo[2]) + rng.Float64()*float64(b.Size(2)))
+			}
+			DepositCIC(f, xs, ys, zs, 1.5)
+			ex.Accumulate(f)
+			tot := mpi.AllReduce(c, []float64{f.TotalOwned()}, mpi.SumF64)
+			want := 1.5 * float64(np*p)
+			if math.Abs(tot[0]-want) > 1e-6*want {
+				t.Errorf("p=%d: deposited mass %g want %g", p, tot[0], want)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDepositMatchesSerial(t *testing.T) {
+	// Parallel deposit (4 ranks) must reproduce the single-rank field.
+	n := [3]int{8, 8, 8}
+	rng := rand.New(rand.NewSource(5))
+	np := 200
+	xs := make([]float32, np)
+	ys := make([]float32, np)
+	zs := make([]float32, np)
+	for i := 0; i < np; i++ {
+		xs[i] = float32(rng.Float64() * 8)
+		ys[i] = float32(rng.Float64() * 8)
+		zs[i] = float32(rng.Float64() * 8)
+	}
+	// Serial reference.
+	ds := NewDecomp(n, 1)
+	ref := NewField(n, ds.Box(0), 1)
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		ex := NewExchanger(c, ds, ref)
+		DepositCIC(ref, xs, ys, zs, 1)
+		ex.Accumulate(ref)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel: each rank deposits only the particles in its box.
+	got := make([]float64, 8*8*8)
+	err = mpi.Run(4, func(c *mpi.Comm) {
+		d := NewDecomp(n, 4)
+		b := d.Box(c.Rank())
+		f := NewField(n, b, 1)
+		ex := NewExchanger(c, d, f)
+		var mx, my, mz []float32
+		for i := 0; i < np; i++ {
+			if b.Contains(int(xs[i]), int(ys[i]), int(zs[i])) {
+				mx = append(mx, xs[i])
+				my = append(my, ys[i])
+				mz = append(mz, zs[i])
+			}
+		}
+		DepositCIC(f, mx, my, mz, 1)
+		ex.Accumulate(f)
+		local := make([]float64, 8*8*8)
+		for x := b.Lo[0]; x < b.Hi[0]; x++ {
+			for y := b.Lo[1]; y < b.Hi[1]; y++ {
+				for z := b.Lo[2]; z < b.Hi[2]; z++ {
+					local[(x*8+y)*8+z] = f.At(x, y, z)
+				}
+			}
+		}
+		sum := mpi.AllReduce(c, local, mpi.SumF64)
+		if c.Rank() == 0 {
+			copy(got, sum)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			for z := 0; z < 8; z++ {
+				want := ref.At(x, y, z)
+				if math.Abs(got[(x*8+y)*8+z]-want) > 1e-9 {
+					t.Fatalf("cell (%d,%d,%d): parallel %g serial %g",
+						x, y, z, got[(x*8+y)*8+z], want)
+				}
+			}
+		}
+	}
+}
+
+func TestInterpConstantField(t *testing.T) {
+	// CIC interpolation of a constant field returns the constant exactly,
+	// anywhere (partition of unity).
+	n := [3]int{8, 8, 8}
+	d := NewDecomp(n, 1)
+	f := NewField(n, d.Box(0), 2)
+	f.Fill(3.25)
+	rng := rand.New(rand.NewSource(2))
+	np := 100
+	xs := make([]float32, np)
+	ys := make([]float32, np)
+	zs := make([]float32, np)
+	out := make([]float32, np)
+	for i := 0; i < np; i++ {
+		xs[i] = float32(rng.Float64()*12 - 2) // includes ghost region
+		ys[i] = float32(rng.Float64() * 8)
+		zs[i] = float32(rng.Float64() * 8)
+	}
+	InterpCIC(f, xs, ys, zs, out, 2)
+	for i, v := range out {
+		if math.Abs(float64(v)-6.5) > 1e-5 {
+			t.Fatalf("particle %d: interp %g want 6.5", i, v)
+		}
+	}
+}
+
+func TestInterpLinearField(t *testing.T) {
+	// CIC reproduces linear fields exactly at interior points.
+	n := [3]int{16, 8, 8}
+	d := NewDecomp(n, 1)
+	f := NewField(n, d.Box(0), 1)
+	for x := 0; x < 16; x++ {
+		for y := 0; y < 8; y++ {
+			for z := 0; z < 8; z++ {
+				f.Set(x, y, z, float64(x))
+			}
+		}
+	}
+	xs := []float32{2.5, 7.25, 10.75}
+	ys := []float32{3, 3, 3}
+	zs := []float32{4, 4, 4}
+	out := make([]float32, 3)
+	InterpCIC(f, xs, ys, zs, out, 1)
+	for i, want := range []float64{2.5, 7.25, 10.75} {
+		if math.Abs(float64(out[i])-want) > 1e-5 {
+			t.Errorf("linear interp %d: got %g want %g", i, out[i], want)
+		}
+	}
+}
+
+func TestDepositInterpAdjointProperty(t *testing.T) {
+	// <deposit(p), field> == <mass, interp(field at p)>: CIC deposit and
+	// interpolation are adjoint, which is what makes PM momentum-conserving.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := [3]int{8, 8, 8}
+		d := NewDecomp(n, 1)
+		fld := NewField(n, d.Box(0), 1)
+		// Random field values on owned cells.
+		vals := make([]float64, 512)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		fld.SetOwned(vals)
+		// One random particle.
+		xs := []float32{float32(rng.Float64() * 8)}
+		ys := []float32{float32(rng.Float64() * 8)}
+		zs := []float32{float32(rng.Float64() * 8)}
+		out := make([]float32, 1)
+		InterpCIC(fld, xs, ys, zs, out, 1)
+		// deposit onto zero field, then dot with vals.
+		dep := NewField(n, d.Box(0), 1)
+		DepositCIC(dep, xs, ys, zs, 1)
+		// fold ghosts (single rank: local wrap only).
+		var dot float64
+		for x := 0; x < 8; x++ {
+			for y := 0; y < 8; y++ {
+				for z := 0; z < 8; z++ {
+					dot += dep.At(x, y, z) * fld.At(x, y, z)
+				}
+			}
+		}
+		// Ghost spill: single rank with ghost=1; cells deposit directly via
+		// owned-preferred indexing, so no fold needed.
+		return math.Abs(dot-float64(out[0])) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package ic generates Zel'dovich initial conditions: a Gaussian random
+// density field drawn from a linear power spectrum, converted to a
+// displacement field in k-space, applied to a uniform particle lattice.
+// Mode amplitudes come from a deterministic per-mode hash, so the same seed
+// produces the same Universe on any rank count and any decomposition.
+package ic
+
+import (
+	"fmt"
+	"math"
+
+	"hacc/internal/cosmology"
+	"hacc/internal/domain"
+	"hacc/internal/grid"
+	"hacc/internal/mpi"
+	"hacc/internal/pfft"
+	"hacc/internal/spectral"
+)
+
+// Options configures the realization.
+type Options struct {
+	Np     int     // particles per dimension (Np³ total)
+	BoxMpc float64 // box side in Mpc/h
+	AInit  float64 // starting scale factor
+	Seed   uint64
+	Fixed  bool // fixed-amplitude ICs (phase-only randomness), a
+	// variance-suppression technique for precision P(k) work
+}
+
+// Validate reports configuration errors.
+func (o Options) Validate() error {
+	if o.Np < 2 {
+		return fmt.Errorf("ic: need ≥2 particles per dim, got %d", o.Np)
+	}
+	if o.BoxMpc <= 0 {
+		return fmt.Errorf("ic: box size must be positive, got %g", o.BoxMpc)
+	}
+	if o.AInit <= 0 || o.AInit > 0.5 {
+		return fmt.Errorf("ic: AInit %g outside (0, 0.5]", o.AInit)
+	}
+	return nil
+}
+
+// Generate fills dom.Active with the rank's share of a Zel'dovich
+// realization on the decomposition's grid. Collective over comm.
+func Generate(c *mpi.Comm, dec *grid.Decomp, lp *cosmology.LinearPower, o Options, dom *domain.Domain) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	n := dec.N
+	if n[0] != n[1] || n[1] != n[2] {
+		return fmt.Errorf("ic: non-cubic grids not supported for IC generation: %v", n)
+	}
+	ng := n[0]
+	pen := pfft.NewAuto(c, n)
+	vol := o.BoxMpc * o.BoxMpc * o.BoxMpc
+	nc3 := float64(ng) * float64(ng) * float64(ng)
+	// <|δ̂_k|²> = P(k)·Nc⁶/V for the unnormalized forward FFT convention.
+	ampNorm := nc3 / math.Sqrt(vol)
+
+	growth := lp.Gfac
+	d0 := growth.D(o.AInit)
+	f0 := growth.F(o.AInit)
+	pfac := float32(o.AInit * o.AInit * lp.Params().E(o.AInit) * f0 * d0)
+
+	// Displacement fields, one per axis, built in spectral space on this
+	// rank's z-pencil and inverse-transformed.
+	var disp [3]*grid.Field
+	for d := 0; d < 3; d++ {
+		spec := make([]complex128, pen.LocalZ().Count())
+		pen.ForEachK(func(mx, my, mz, idx int) {
+			if mx == 0 && my == 0 && mz == 0 {
+				return
+			}
+			kx := spectral.KMode(mx, ng)
+			ky := spectral.KMode(my, ng)
+			kz := spectral.KMode(mz, ng)
+			k2 := kx*kx + ky*ky + kz*kz
+			kPhys := math.Sqrt(k2) * float64(ng) / o.BoxMpc
+			amp := math.Sqrt(lp.P(kPhys)) * ampNorm
+			re, im := modeGaussian(o.Seed, mx, my, mz, ng, o.Fixed)
+			dk := complex(amp*re, amp*im)
+			var kd float64
+			switch d {
+			case 0:
+				kd = kx
+			case 1:
+				kd = ky
+			default:
+				kd = kz
+			}
+			// Ψ_k = i·k_d/k²·δ_k (continuum gradient for IC fidelity).
+			w := kd / k2
+			spec[idx] = complex(-imag(dk)*w, real(dk)*w)
+		})
+		rs := pen.Inverse(spec)
+		vals := make([]float64, len(rs))
+		for i, v := range rs {
+			vals[i] = real(v)
+		}
+		back := pfft.Redistribute(c, vals, pen.LayoutX(), dec.Layout())
+		disp[d] = grid.NewField(n, dec.Box(c.Rank()), 2)
+		disp[d].SetOwned(back)
+		ex := grid.NewExchanger(c, dec, disp[d])
+		ex.Fill(disp[d])
+	}
+
+	// Lay down the lattice sites owned by this rank and displace them. The
+	// lattice sits on grid nodes: when Np == Ng the displacement is read
+	// off exactly (no CIC smoothing of the IC spectrum).
+	step := float64(ng) / float64(o.Np)
+	box := dec.Box(c.Rank())
+	dom.Active.Reset()
+	var qx, qy, qz []float32
+	var ids []uint64
+	for i := 0; i < o.Np; i++ {
+		x := float64(i) * step
+		if int(x) < box.Lo[0] || int(x) >= box.Hi[0] {
+			continue
+		}
+		for j := 0; j < o.Np; j++ {
+			y := float64(j) * step
+			if int(y) < box.Lo[1] || int(y) >= box.Hi[1] {
+				continue
+			}
+			for k := 0; k < o.Np; k++ {
+				z := float64(k) * step
+				if int(z) < box.Lo[2] || int(z) >= box.Hi[2] {
+					continue
+				}
+				qx = append(qx, float32(x))
+				qy = append(qy, float32(y))
+				qz = append(qz, float32(z))
+				ids = append(ids, (uint64(i)*uint64(o.Np)+uint64(j))*uint64(o.Np)+uint64(k))
+			}
+		}
+	}
+	np := len(qx)
+	psi := make([]float32, np)
+	pos := [3][]float32{qx, qy, qz}
+	var displ [3][]float32
+	for d := 0; d < 3; d++ {
+		grid.InterpCIC(disp[d], qx, qy, qz, psi, 1)
+		displ[d] = append([]float32(nil), psi...)
+	}
+	dom.Active.Grow(np)
+	for i := 0; i < np; i++ {
+		x := pos[0][i] + float32(d0)*displ[0][i]
+		y := pos[1][i] + float32(d0)*displ[1][i]
+		z := pos[2][i] + float32(d0)*displ[2][i]
+		dom.Active.Append(x, y, z,
+			pfac*displ[0][i], pfac*displ[1][i], pfac*displ[2][i], ids[i])
+	}
+	dom.Migrate()
+	return nil
+}
+
+// modeGaussian returns the deterministic Gaussian pair for mode (mx,my,mz),
+// respecting the Hermitian symmetry δ(−k) = conj(δ(k)) by hashing the
+// canonical representative of each conjugate pair. Self-conjugate modes get
+// a real amplitude with matching total variance. With fixed=true the
+// modulus is pinned to its rms and only the phase is random.
+func modeGaussian(seed uint64, mx, my, mz, n int, fixed bool) (re, im float64) {
+	cx, cy, cz := (n-mx)%n, (n-my)%n, (n-mz)%n
+	conjugated := false
+	hx, hy, hz := mx, my, mz
+	if less3(cx, cy, cz, mx, my, mz) {
+		hx, hy, hz = cx, cy, cz
+		conjugated = true
+	}
+	self := cx == mx && cy == my && cz == mz
+	h := splitmix(seed ^ mixCoords(hx, hy, hz))
+	u1 := toUniform(h)
+	h = splitmix(h)
+	u2 := toUniform(h)
+	if self {
+		if fixed {
+			// Unit modulus, random sign.
+			if u2 > 0.5 {
+				return 1, 0
+			}
+			return -1, 0
+		}
+		// Real Gaussian with variance equal to the complex modes' total.
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2), 0
+	}
+	r := math.Sqrt(-math.Log(u1)) // Rayleigh: |δ| with Re,Im each N(0,½)
+	if fixed {
+		r = 1 // pin the modulus to its rms
+	}
+	phase := 2 * math.Pi * u2
+	re = r * math.Cos(phase)
+	im = r * math.Sin(phase)
+	if conjugated {
+		im = -im
+	}
+	return re, im
+}
+
+func less3(ax, ay, az, bx, by, bz int) bool {
+	if ax != bx {
+		return ax < bx
+	}
+	if ay != by {
+		return ay < by
+	}
+	return az < bz
+}
+
+func mixCoords(x, y, z int) uint64 {
+	return uint64(x)*0x9e3779b97f4a7c15 ^ uint64(y)*0xc2b2ae3d27d4eb4f ^ uint64(z)*0x165667b19e3779f9
+}
+
+// splitmix is the splitmix64 mixing function.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// toUniform maps a hash to (0,1].
+func toUniform(h uint64) float64 {
+	return (float64(h>>11) + 1) / (1 << 53)
+}

@@ -1,0 +1,305 @@
+package ic
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"hacc/internal/cosmology"
+	"hacc/internal/domain"
+	"hacc/internal/grid"
+	"hacc/internal/mpi"
+)
+
+func collect(t *testing.T, procs int, o Options, ng int) (x, y, z, vx []float32, id []uint64) {
+	t.Helper()
+	n := [3]int{ng, ng, ng}
+	params := cosmology.Default()
+	lp := cosmology.NewLinearPower(params, cosmology.EisensteinHuNoWiggle(params))
+	err := mpi.Run(procs, func(c *mpi.Comm) {
+		dec := grid.NewDecomp(n, procs)
+		dom := domain.New(c, dec, 2)
+		if err := Generate(c, dec, lp, o, dom); err != nil {
+			t.Error(err)
+			return
+		}
+		gx := mpi.Gather(c, 0, dom.Active.X)
+		gy := mpi.Gather(c, 0, dom.Active.Y)
+		gz := mpi.Gather(c, 0, dom.Active.Z)
+		gvx := mpi.Gather(c, 0, dom.Active.Vx)
+		gid := mpi.Gather(c, 0, dom.Active.ID)
+		if c.Rank() == 0 {
+			x, y, z, vx, id = gx, gy, gz, gvx, gid
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+type byID struct {
+	x, y, z, vx []float32
+	id          []uint64
+}
+
+func (b byID) Len() int           { return len(b.id) }
+func (b byID) Less(i, j int) bool { return b.id[i] < b.id[j] }
+func (b byID) Swap(i, j int) {
+	b.x[i], b.x[j] = b.x[j], b.x[i]
+	b.y[i], b.y[j] = b.y[j], b.y[i]
+	b.z[i], b.z[j] = b.z[j], b.z[i]
+	b.vx[i], b.vx[j] = b.vx[j], b.vx[i]
+	b.id[i], b.id[j] = b.id[j], b.id[i]
+}
+
+func TestValidate(t *testing.T) {
+	good := Options{Np: 16, BoxMpc: 100, AInit: 0.1, Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Options{
+		{Np: 1, BoxMpc: 100, AInit: 0.1},
+		{Np: 16, BoxMpc: 0, AInit: 0.1},
+		{Np: 16, BoxMpc: 100, AInit: 0.9},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestParticleCountAndIDs(t *testing.T) {
+	o := Options{Np: 16, BoxMpc: 128, AInit: 0.05, Seed: 42}
+	x, _, _, _, id := collect(t, 4, o, 16)
+	if len(x) != 16*16*16 {
+		t.Fatalf("got %d particles want %d", len(x), 16*16*16)
+	}
+	seen := make(map[uint64]bool, len(id))
+	for _, v := range id {
+		if seen[v] {
+			t.Fatalf("duplicate ID %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDecompositionIndependence(t *testing.T) {
+	// The same seed must produce the same Universe on 1 and 8 ranks.
+	o := Options{Np: 16, BoxMpc: 200, AInit: 0.1, Seed: 7}
+	x1, y1, z1, v1, id1 := collect(t, 1, o, 16)
+	x8, y8, z8, v8, id8 := collect(t, 8, o, 16)
+	sort.Sort(byID{x1, y1, z1, v1, id1})
+	sort.Sort(byID{x8, y8, z8, v8, id8})
+	if len(id1) != len(id8) {
+		t.Fatalf("counts differ: %d vs %d", len(id1), len(id8))
+	}
+	for i := range id1 {
+		if id1[i] != id8[i] {
+			t.Fatalf("ID order differs at %d", i)
+		}
+		if d := math.Abs(float64(x1[i] - x8[i])); d > 1e-4 {
+			t.Fatalf("x differs for ID %d: %g vs %g", id1[i], x1[i], x8[i])
+		}
+		if math.Abs(float64(y1[i]-y8[i])) > 1e-4 || math.Abs(float64(z1[i]-z8[i])) > 1e-4 {
+			t.Fatalf("pos differs for ID %d", id1[i])
+		}
+		if math.Abs(float64(v1[i]-v8[i])) > 1e-4*(math.Abs(float64(v1[i]))+1e-3) {
+			t.Fatalf("vx differs for ID %d: %g vs %g", id1[i], v1[i], v8[i])
+		}
+	}
+}
+
+func TestSeedChangesRealization(t *testing.T) {
+	oA := Options{Np: 8, BoxMpc: 100, AInit: 0.1, Seed: 1}
+	oB := Options{Np: 8, BoxMpc: 100, AInit: 0.1, Seed: 2}
+	xA, _, _, _, idA := collect(t, 1, oA, 8)
+	xB, _, _, _, idB := collect(t, 1, oB, 8)
+	sort.Sort(byID{xA, make([]float32, len(xA)), make([]float32, len(xA)), make([]float32, len(xA)), idA})
+	sort.Sort(byID{xB, make([]float32, len(xB)), make([]float32, len(xB)), make([]float32, len(xB)), idB})
+	same := 0
+	for i := range xA {
+		if xA[i] == xB[i] {
+			same++
+		}
+	}
+	if same == len(xA) {
+		t.Error("different seeds produced identical positions")
+	}
+}
+
+func TestDisplacementVariance(t *testing.T) {
+	// The Zel'dovich displacement variance is σ_Ψ² = D²·(1/6π²)∫P(k)dk per
+	// component (top-hat-free integral); with a finite box and grid the
+	// integral acquires an infrared cutoff at the fundamental mode and an
+	// ultraviolet cutoff near the Nyquist frequency. Check the measured
+	// variance against the band-limited integral within sampling error.
+	ng, box := 32, 400.0
+	aInit := 0.1
+	o := Options{Np: 32, BoxMpc: box, AInit: aInit, Seed: 3}
+	params := cosmology.Default()
+	lp := cosmology.NewLinearPower(params, cosmology.EisensteinHuNoWiggle(params))
+	x, y, z, _, _ := collect(t, 2, o, ng)
+
+	// Reconstruct displacements from positions (lattice spacing 1 cell).
+	step := float64(ng) / 32
+	var sum2 float64
+	n := len(x)
+	for i := 0; i < n; i++ {
+		// Nearest lattice site (node lattice; displacements ≪ cell here).
+		qx := math.Round(float64(x[i])/step) * step
+		dx := float64(x[i]) - qx
+		// Only use the x-displacement; wrap across the periodic edge.
+		if dx > float64(ng)/2 {
+			dx -= float64(ng)
+		}
+		if dx < -float64(ng)/2 {
+			dx += float64(ng)
+		}
+		sum2 += dx * dx
+	}
+	_, _ = y, z
+	measured := sum2 / float64(n) // grid-cell² units
+	cell := box / float64(ng)
+	measuredMpc := measured * cell * cell
+
+	d := lp.Gfac.D(aInit)
+	kMin := 2 * math.Pi / box
+	kNyq := math.Pi / cell
+	nInt := 4000
+	var integ float64
+	for j := 0; j < nInt; j++ {
+		k := kMin + (kNyq-kMin)*(float64(j)+0.5)/float64(nInt)
+		integ += lp.P(k) * (kNyq - kMin) / float64(nInt)
+	}
+	want := d * d * integ / (6 * math.Pi * math.Pi)
+	if math.Abs(measuredMpc-want) > 0.35*want {
+		t.Errorf("displacement variance %g (Mpc/h)² want ≈%g", measuredMpc, want)
+	}
+}
+
+func TestZeroPowerGivesLattice(t *testing.T) {
+	// A spectrum with zero amplitude leaves particles exactly on the
+	// lattice with zero momentum.
+	params := cosmology.Default()
+	params.Sigma8 = 1e-12
+	lp := cosmology.NewLinearPower(params, cosmology.BBKS(params))
+	n := [3]int{8, 8, 8}
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		dec := grid.NewDecomp(n, 1)
+		dom := domain.New(c, dec, 2)
+		o := Options{Np: 8, BoxMpc: 100, AInit: 0.1, Seed: 5}
+		if err := Generate(c, dec, lp, o, dom); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < dom.Active.Len(); i++ {
+			fx := math.Mod(float64(dom.Active.X[i]), 1)
+			if fx > 0.5 {
+				fx = 1 - fx
+			}
+			if fx > 1e-3 {
+				t.Errorf("particle %d off-lattice: x=%g", i, dom.Active.X[i])
+				return
+			}
+			if math.Abs(float64(dom.Active.Vx[i])) > 1e-6 {
+				t.Errorf("particle %d has momentum %g", i, dom.Active.Vx[i])
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedAmplitudeVarianceSuppression(t *testing.T) {
+	// Fixed-amplitude ICs remove the modulus fluctuations; the measured
+	// displacement variance across seeds should scatter far less.
+	ng := 16
+	params := cosmology.Default()
+	lp := cosmology.NewLinearPower(params, cosmology.BBKS(params))
+	variance := func(fixed bool, seed uint64) float64 {
+		var out float64
+		err := mpi.Run(1, func(c *mpi.Comm) {
+			dec := grid.NewDecomp([3]int{ng, ng, ng}, 1)
+			dom := domain.New(c, dec, 2)
+			o := Options{Np: ng, BoxMpc: 150, AInit: 0.1, Seed: seed, Fixed: fixed}
+			if err := Generate(c, dec, lp, o, dom); err != nil {
+				t.Error(err)
+				return
+			}
+			var s float64
+			for i := 0; i < dom.Active.Len(); i++ {
+				d := float64(dom.Active.Vx[i])
+				s += d * d
+			}
+			out = s / float64(dom.Active.Len())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	spread := func(fixed bool) float64 {
+		var vals []float64
+		for s := uint64(1); s <= 6; s++ {
+			vals = append(vals, variance(fixed, s))
+		}
+		var mean float64
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(len(vals))
+		var sd float64
+		for _, v := range vals {
+			sd += (v - mean) * (v - mean)
+		}
+		return math.Sqrt(sd/float64(len(vals))) / mean
+	}
+	sg := spread(false)
+	sf := spread(true)
+	t.Logf("variance scatter across seeds: gaussian %.3f fixed %.3f", sg, sf)
+	if sf >= sg {
+		t.Errorf("fixed-amplitude ICs should suppress realization scatter: %g vs %g", sf, sg)
+	}
+}
+
+func TestModeGaussianHermitian(t *testing.T) {
+	// Hash-based draws must satisfy δ(−k) = conj(δ(k)) exactly.
+	n := 16
+	for _, m := range [][3]int{{1, 2, 3}, {5, 0, 2}, {15, 15, 1}, {3, 9, 14}} {
+		re1, im1 := modeGaussian(9, m[0], m[1], m[2], n, false)
+		re2, im2 := modeGaussian(9, (n-m[0])%n, (n-m[1])%n, (n-m[2])%n, n, false)
+		if re1 != re2 || im1 != -im2 {
+			t.Errorf("mode %v: (%g,%g) vs conj (%g,%g)", m, re1, im1, re2, im2)
+		}
+	}
+	// Self-conjugate modes are real.
+	for _, m := range [][3]int{{0, 0, 8}, {8, 8, 8}, {0, 8, 0}} {
+		_, im := modeGaussian(9, m[0], m[1], m[2], n, false)
+		if im != 0 {
+			t.Errorf("self-conjugate mode %v has imaginary part %g", m, im)
+		}
+	}
+}
+
+func TestModeGaussianUnitVariance(t *testing.T) {
+	// Across many modes, <re²+im²> ≈ 1.
+	n := 64
+	var sum float64
+	count := 0
+	for mx := 1; mx < 32; mx += 2 {
+		for my := 1; my < 32; my += 3 {
+			for mz := 1; mz < 32; mz += 3 {
+				re, im := modeGaussian(123, mx, my, mz, n, false)
+				sum += re*re + im*im
+				count++
+			}
+		}
+	}
+	mean := sum / float64(count)
+	if math.Abs(mean-1) > 0.1 {
+		t.Errorf("mode variance %g want ≈1 over %d modes", mean, count)
+	}
+}

@@ -1,0 +1,68 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFFTFlops(t *testing.T) {
+	if f := FFTFlops(1024, 1); math.Abs(f-5*1024*10) > 1e-9 {
+		t.Errorf("FFTFlops(1024)=%g", f)
+	}
+	if f := FFTFlops(1, 100); f != 0 {
+		t.Errorf("length-1 FFT should cost nothing, got %g", f)
+	}
+	// 3-D: three passes of n² batched transforms.
+	if f := FFT3Flops(64); math.Abs(f-3*5*64*6*64*64) > 1e-6 {
+		t.Errorf("FFT3Flops(64)=%g", f)
+	}
+}
+
+func TestCountersFlops(t *testing.T) {
+	c := Counters{KernelInteractions: 1000, FFT3D: 2, FFTGridN: 32, CICOps: 10}
+	want := 1000*FlopsPerInteraction + 2*FFT3Flops(32) + 10*FlopsPerCIC
+	if got := c.Flops(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Flops=%g want %g", got, want)
+	}
+	var d Counters
+	d.Add(c)
+	d.Add(c)
+	if d.KernelInteractions != 2000 || d.FFT3D != 4 || d.FFTGridN != 32 {
+		t.Errorf("Add broken: %+v", d)
+	}
+}
+
+func TestProjection(t *testing.T) {
+	// 96 racks = 98304 nodes: the paper's 13.94 PFlops at 69.2%.
+	tf, pct := ProjectedBGQ(96 * 1024)
+	if math.Abs(tf-13940) > 100 {
+		t.Errorf("96-rack projection %g TFlops, want ≈13940", tf)
+	}
+	if math.Abs(pct-69.2) > 0.1 {
+		t.Errorf("peak pct %g", pct)
+	}
+	d := BGQTimePerSubstep(1e15, 96*1024)
+	if d <= 0 || d > time.Minute {
+		t.Errorf("substep projection %v", d)
+	}
+}
+
+func TestTimers(t *testing.T) {
+	tm := NewTimers()
+	tm.Add("kernel", 80*time.Millisecond)
+	tm.Add("walk", 10*time.Millisecond)
+	tm.Add("fft", 5*time.Millisecond)
+	tm.Add("other", 5*time.Millisecond)
+	tm.Time("other", func() {}) // ~0
+	if tm.Get("kernel") != 80*time.Millisecond {
+		t.Errorf("Get kernel %v", tm.Get("kernel"))
+	}
+	fr := tm.Fractions()
+	if fr[0].Name != "kernel" || math.Abs(fr[0].Fraction-0.8) > 0.01 {
+		t.Errorf("top phase %+v", fr[0])
+	}
+	if tm.Total() < 100*time.Millisecond {
+		t.Errorf("total %v", tm.Total())
+	}
+}

@@ -1,0 +1,132 @@
+package machine
+
+// Torus models the BG/Q 5-D torus interconnect (paper §III: each compute
+// node has 10 links — one per direction per dimension — with 40 GB/s total
+// node bandwidth). It provides hop metrics and first-order time estimates
+// for the FFT transpose traffic, used to reason about Table I's network
+// behavior.
+type Torus struct {
+	Dims [5]int
+}
+
+// BG/Q network constants (paper §III and ref. [5]).
+const (
+	TorusLinksPerNode   = 10
+	TorusNodeBandwidthB = 40e9 // bytes/s aggregate over all links
+	TorusLinkBandwidthB = TorusNodeBandwidthB / TorusLinksPerNode
+)
+
+// NewTorus builds a torus with the given extents; a midplane's 512 nodes
+// are wired 4×4×4×4×2, a full 1024-node rack 4×4×4×8×2.
+func NewTorus(dims [5]int) *Torus {
+	for _, d := range dims {
+		if d < 1 {
+			panic("machine: torus dims must be positive")
+		}
+	}
+	return &Torus{Dims: dims}
+}
+
+// RackTorus returns the 4×4×4×8×2 single-rack wiring (1024 nodes).
+func RackTorus() *Torus { return NewTorus([5]int{4, 4, 4, 8, 2}) }
+
+// Nodes returns the node count.
+func (t *Torus) Nodes() int {
+	n := 1
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Coords maps a rank to torus coordinates (row-major).
+func (t *Torus) Coords(rank int) [5]int {
+	var c [5]int
+	for i := 4; i >= 0; i-- {
+		c[i] = rank % t.Dims[i]
+		rank /= t.Dims[i]
+	}
+	return c
+}
+
+// Hops returns the minimal hop distance between two ranks with periodic
+// wrap in every dimension.
+func (t *Torus) Hops(a, b int) int {
+	ca, cb := t.Coords(a), t.Coords(b)
+	h := 0
+	for i := 0; i < 5; i++ {
+		d := ca[i] - cb[i]
+		if d < 0 {
+			d = -d
+		}
+		if w := t.Dims[i] - d; w < d {
+			d = w
+		}
+		h += d
+	}
+	return h
+}
+
+// MeanHops returns the average pairwise hop count over all distinct pairs —
+// the expected path length of all-to-all traffic.
+func (t *Torus) MeanHops() float64 {
+	n := t.Nodes()
+	if n < 2 {
+		return 0
+	}
+	// Per-dimension mean wrap distance is independent; sum them.
+	total := 0.0
+	for i := 0; i < 5; i++ {
+		d := t.Dims[i]
+		sum := 0
+		for x := 0; x < d; x++ {
+			w := x
+			if d-x < w {
+				w = d - x
+			}
+			sum += w
+		}
+		total += float64(sum) / float64(d)
+	}
+	return total
+}
+
+// BisectionLinks counts links crossing the worst-case bisection (half the
+// links in the longest dimension's cut, times the cross-sectional area).
+func (t *Torus) BisectionLinks() int {
+	// Cut the largest dimension: 2 wrap directions × cross-section.
+	maxD := 0
+	for i := 1; i < 5; i++ {
+		if t.Dims[i] > t.Dims[maxD] {
+			maxD = i
+		}
+	}
+	cross := t.Nodes() / t.Dims[maxD]
+	return 2 * cross
+}
+
+// AllToAllTime estimates the wall-clock of a balanced all-to-all where
+// every node sends bytesPerPair to every other node: total traffic times
+// mean path length spread over all links.
+func (t *Torus) AllToAllTime(bytesPerPair float64) float64 {
+	n := float64(t.Nodes())
+	traffic := bytesPerPair * n * (n - 1) * t.MeanHops()
+	capacity := TorusLinkBandwidthB * float64(t.Nodes()) * TorusLinksPerNode
+	return traffic / capacity
+}
+
+// TransposeTime estimates one pencil-FFT transpose on this torus: each of
+// the `groups` sub-communicators of size g exchanges its share of an n³
+// complex grid (16 bytes/point).
+func (t *Torus) TransposeTime(n, groups, g int) float64 {
+	if g <= 1 {
+		return 0
+	}
+	points := float64(n) * float64(n) * float64(n)
+	bytesPerPair := points * 16 / (float64(groups) * float64(g) * float64(g))
+	// Sub-communicators run concurrently over disjoint node sets; model as
+	// the full machine moving the aggregate volume.
+	total := bytesPerPair * float64(groups) * float64(g) * float64(g-1) * t.MeanHops()
+	capacity := TorusLinkBandwidthB * float64(t.Nodes()) * TorusLinksPerNode
+	return total / capacity
+}

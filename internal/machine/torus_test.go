@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTorusCoordsAndNodes(t *testing.T) {
+	tr := RackTorus()
+	if tr.Nodes() != 1024 {
+		t.Fatalf("rack has %d nodes", tr.Nodes())
+	}
+	// Coords round trip through row-major ordering.
+	for _, r := range []int{0, 1, 17, 511, 1023} {
+		c := tr.Coords(r)
+		back := 0
+		for i := 0; i < 5; i++ {
+			back = back*tr.Dims[i] + c[i]
+		}
+		if back != r {
+			t.Errorf("coords round trip %d -> %v -> %d", r, c, back)
+		}
+	}
+}
+
+func TestTorusHops(t *testing.T) {
+	tr := NewTorus([5]int{4, 1, 1, 1, 1})
+	// On a 4-ring: distances 0,1,2,1.
+	wants := []int{0, 1, 2, 1}
+	for b, w := range wants {
+		if h := tr.Hops(0, b); h != w {
+			t.Errorf("ring hops 0->%d = %d want %d", b, h, w)
+		}
+	}
+	// Symmetry and identity on the rack torus.
+	rack := RackTorus()
+	for a := 0; a < 40; a += 7 {
+		for b := 0; b < 1024; b += 101 {
+			if rack.Hops(a, b) != rack.Hops(b, a) {
+				t.Errorf("asymmetric hops %d,%d", a, b)
+			}
+		}
+		if rack.Hops(a, a) != 0 {
+			t.Errorf("self distance %d", a)
+		}
+	}
+}
+
+func TestTorusTriangleInequalityProperty(t *testing.T) {
+	rack := RackTorus()
+	f := func(a, b, c uint16) bool {
+		x, y, z := int(a)%1024, int(b)%1024, int(c)%1024
+		return rack.Hops(x, z) <= rack.Hops(x, y)+rack.Hops(y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanHops(t *testing.T) {
+	// For a single d-ring the mean wrap distance is Σmin(x,d−x)/d.
+	tr := NewTorus([5]int{4, 1, 1, 1, 1})
+	want := (0.0 + 1 + 2 + 1) / 4
+	if m := tr.MeanHops(); math.Abs(m-want) > 1e-12 {
+		t.Errorf("mean hops %g want %g", m, want)
+	}
+	// The rack torus 4×4×4×8×2: three 4-rings (mean 1) + an 8-ring
+	// (mean 2) + a 2-ring (mean 0.5) = 5.5.
+	if m := RackTorus().MeanHops(); math.Abs(m-5.5) > 1e-12 {
+		t.Errorf("rack mean hops %g want 5.5", m)
+	}
+}
+
+func TestBisectionAndTimes(t *testing.T) {
+	rack := RackTorus()
+	// Largest dimension is the 8-ring: cross-section 1024/8 = 128 nodes,
+	// two wrap directions.
+	if bl := rack.BisectionLinks(); bl != 2*128 {
+		t.Errorf("bisection links %d", bl)
+	}
+	tAll := rack.AllToAllTime(1 << 10)
+	if !(tAll > 0) {
+		t.Errorf("alltoall time %g", tAll)
+	}
+	// A transpose of a bigger grid takes longer.
+	t1 := rack.TransposeTime(1024, 32, 32)
+	t2 := rack.TransposeTime(2048, 32, 32)
+	if !(t2 > t1 && t1 > 0) {
+		t.Errorf("transpose times %g %g", t1, t2)
+	}
+	if rack.TransposeTime(1024, 1024, 1) != 0 {
+		t.Error("single-member transpose should be free")
+	}
+	// Order of magnitude: a 1024³ complex grid is 16 GB; a rack moves it
+	// through ~10 TB/s of aggregate links with ~4.5 mean hops: tens of ms.
+	if t1 < 1e-4 || t1 > 1 {
+		t.Errorf("1024³ transpose estimate %g s implausible", t1)
+	}
+}

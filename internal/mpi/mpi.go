@@ -1,0 +1,318 @@
+// Package mpi implements an in-process message-passing runtime modeled on
+// MPI. Ranks are goroutines; point-to-point messages are matched on
+// (communicator, source, tag) and collectives are implemented with the
+// classical distributed algorithms (dissemination barrier, binomial trees,
+// recursive doubling, pairwise exchange) so that the communication pattern
+// of a program is the same as it would be under a real MPI library.
+//
+// HACC uses MPI for its long/medium-range force framework; this package is
+// the substitute substrate that lets the rest of the code run unmodified at
+// "scale" on a single machine.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// AnySource matches a message from any source rank in Recv.
+const AnySource = -1
+
+// AnyTag matches a message with any tag in Recv.
+const AnyTag = -1
+
+// message is a single in-flight point-to-point message.
+type message struct {
+	ctx     int64
+	src     int
+	tag     int
+	payload any // a slice, owned by the receiver once delivered
+}
+
+// mailbox holds pending messages destined for one rank.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.pending = append(m.pending, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) abort() {
+	m.mu.Lock()
+	m.aborted = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take removes and returns the first message matching (ctx, src, tag),
+// blocking until one arrives. It returns an error if the world aborted.
+func (m *mailbox) take(ctx int64, src, tag int) (message, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.aborted {
+			return message{}, fmt.Errorf("mpi: world aborted while waiting for message src=%d tag=%d", src, tag)
+		}
+		for i, msg := range m.pending {
+			if msg.ctx != ctx {
+				continue
+			}
+			if src != AnySource && msg.src != src {
+				continue
+			}
+			if tag != AnyTag && msg.tag != tag {
+				continue
+			}
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			return msg, nil
+		}
+		m.cond.Wait()
+	}
+}
+
+// World is a set of ranks that can communicate. It owns the mailboxes and
+// the registry used to derive communicator contexts deterministically.
+type World struct {
+	size      int
+	boxes     []*mailbox
+	nextCtx   atomic.Int64
+	splitMu   sync.Mutex
+	splitCtxs map[splitKey]int64
+	aborted   atomic.Bool
+
+	// Bytes moved through point-to-point sends, for bandwidth accounting.
+	BytesSent atomic.Int64
+	// Number of point-to-point messages.
+	MsgsSent atomic.Int64
+}
+
+type splitKey struct {
+	parentCtx int64
+	seq       int64
+	color     int
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	w := &World{size: size, splitCtxs: make(map[splitKey]int64)}
+	w.boxes = make([]*mailbox, size)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.nextCtx.Store(1) // ctx 0 is the world communicator
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// abort wakes all blocked receivers with an error.
+func (w *World) abort() {
+	if w.aborted.Swap(true) {
+		return
+	}
+	for _, b := range w.boxes {
+		b.abort()
+	}
+}
+
+// Run executes fn concurrently on every rank of the world and waits for all
+// ranks to finish. If any rank panics, the remaining ranks are aborted and
+// Run returns an error describing the first panic. Run may be called again
+// on the same world only if the previous call returned nil.
+func (w *World) Run(fn func(c *Comm)) error {
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("mpi: rank %d panicked: %v", rank, p))
+					w.abort()
+				}
+			}()
+			fn(&Comm{world: w, ctx: 0, rank: rank, ranks: nil})
+		}(r)
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// Run is a convenience that creates a world of the given size and runs fn.
+func Run(size int, fn func(c *Comm)) error {
+	return NewWorld(size).Run(fn)
+}
+
+// Comm is a communicator: a view of a subset of world ranks with a private
+// message context. The zero Comm is not valid; communicators are obtained
+// from World.Run and Comm.Split.
+type Comm struct {
+	world *World
+	ctx   int64
+	rank  int   // rank within this communicator
+	ranks []int // world ranks of the members; nil means identity (world comm)
+	seq   int64 // per-comm split sequence counter (same on all members)
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int {
+	if c.ranks == nil {
+		return c.world.size
+	}
+	return len(c.ranks)
+}
+
+// World returns the world this communicator belongs to.
+func (c *Comm) World() *World { return c.world }
+
+// worldRank maps a communicator rank to the underlying world rank.
+func (c *Comm) worldRank(r int) int {
+	if c.ranks == nil {
+		return r
+	}
+	return c.ranks[r]
+}
+
+func (c *Comm) checkRank(r int, what string) {
+	if r < 0 || r >= c.Size() {
+		panic(fmt.Sprintf("mpi: %s rank %d out of range [0,%d)", what, r, c.Size()))
+	}
+}
+
+// send delivers payload (a slice that the receiver will own) to dst.
+func (c *Comm) send(dst, tag int, payload any, bytes int) {
+	c.checkRank(dst, "destination")
+	c.world.BytesSent.Add(int64(bytes))
+	c.world.MsgsSent.Add(1)
+	c.world.boxes[c.worldRank(dst)].put(message{ctx: c.ctx, src: c.rank, tag: tag, payload: payload})
+}
+
+// recv blocks until a matching message arrives and returns its payload.
+func (c *Comm) recv(src, tag int) any {
+	if src != AnySource {
+		c.checkRank(src, "source")
+	}
+	msg, err := c.world.boxes[c.worldRank(c.rank)].take(c.ctx, src, tag)
+	if err != nil {
+		panic(err)
+	}
+	return msg.payload
+}
+
+// Send copies buf and delivers it to rank dst with the given tag. It does
+// not block (sends are buffered, as with eager-protocol MPI messages).
+func Send[T any](c *Comm, dst, tag int, buf []T) {
+	cp := make([]T, len(buf))
+	copy(cp, buf)
+	c.send(dst, tag, cp, len(buf)*sizeOf[T]())
+}
+
+// SendMove delivers buf to rank dst without copying. The caller must not
+// touch buf afterwards. Used on large transfers (FFT transposes).
+func SendMove[T any](c *Comm, dst, tag int, buf []T) {
+	c.send(dst, tag, buf, len(buf)*sizeOf[T]())
+}
+
+// Recv blocks until a message with matching source and tag arrives and
+// returns its payload. src may be AnySource and tag may be AnyTag.
+func Recv[T any](c *Comm, src, tag int) []T {
+	p := c.recv(src, tag)
+	buf, ok := p.([]T)
+	if !ok {
+		panic(fmt.Sprintf("mpi: Recv type mismatch: got %T", p))
+	}
+	return buf
+}
+
+// SendRecv exchanges buffers with two (possibly equal) partners.
+func SendRecv[T any](c *Comm, dst, sendTag int, sendBuf []T, src, recvTag int) []T {
+	SendMove(c, dst, sendTag, append([]T(nil), sendBuf...))
+	return Recv[T](c, src, recvTag)
+}
+
+// sizeOf returns a rough element size for bandwidth accounting.
+func sizeOf[T any]() int {
+	var z T
+	switch any(z).(type) {
+	case float64, complex64, int64, uint64, int:
+		return 8
+	case complex128:
+		return 16
+	case float32, int32, uint32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Split partitions the communicator into sub-communicators, one per distinct
+// color; ranks within a sub-communicator are ordered by (key, old rank).
+// Every member of c must call Split with the same call sequence. A negative
+// color returns nil (the rank does not join any sub-communicator).
+func (c *Comm) Split(color, key int) *Comm {
+	type ck struct{ Color, Key int }
+	all := AllGather(c, []ck{{color, key}})
+	seq := c.seq
+	c.seq++
+	if color < 0 {
+		return nil
+	}
+	// Collect members with my color, ordered by (key, rank).
+	var members []int
+	for r := 0; r < c.Size(); r++ {
+		if all[r].Color == color {
+			members = append(members, r)
+		}
+	}
+	// Stable sort by key (insertion sort: groups are small).
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0 && all[members[j-1]].Key > all[members[j]].Key; j-- {
+			members[j-1], members[j] = members[j], members[j-1]
+		}
+	}
+	newRank := -1
+	worldRanks := make([]int, len(members))
+	for i, r := range members {
+		worldRanks[i] = c.worldRank(r)
+		if r == c.rank {
+			newRank = i
+		}
+	}
+	// Agree on a context id via the world registry. All members observe the
+	// same (parentCtx, seq, color) so they all get the same new ctx.
+	w := c.world
+	w.splitMu.Lock()
+	k := splitKey{parentCtx: c.ctx, seq: seq, color: color}
+	ctx, ok := w.splitCtxs[k]
+	if !ok {
+		ctx = w.nextCtx.Add(1)
+		w.splitCtxs[k] = ctx
+	}
+	w.splitMu.Unlock()
+	return &Comm{world: w, ctx: ctx, rank: newRank, ranks: worldRanks}
+}

@@ -1,0 +1,227 @@
+// Package pfft implements distributed 3-D FFTs over the mpi runtime, with
+// both the slab decomposition (HACC's first-generation FFT, limited to
+// Nrank < N) and the 2-D pencil decomposition (Nrank < N², paper §IV-A).
+// Transposes are pairwise exchanges inside row/column sub-communicators,
+// interleaved with local 1-D FFTs, mirroring the paper's description.
+//
+// The package also provides a general rectangular re-distribution between
+// arbitrary layouts (used to move PM fields between the 3-D block domain
+// decomposition and FFT pencils).
+package pfft
+
+import (
+	"fmt"
+
+	"hacc/internal/mpi"
+)
+
+// Box is a half-open axis-aligned box [Lo, Hi) in 3-D grid coordinates.
+type Box struct {
+	Lo, Hi [3]int
+}
+
+// Size returns the extent along dimension d.
+func (b Box) Size(d int) int { return b.Hi[d] - b.Lo[d] }
+
+// Count returns the number of grid points inside the box.
+func (b Box) Count() int {
+	n := 1
+	for d := 0; d < 3; d++ {
+		if b.Hi[d] <= b.Lo[d] {
+			return 0
+		}
+		n *= b.Size(d)
+	}
+	return n
+}
+
+// Empty reports whether the box contains no points.
+func (b Box) Empty() bool { return b.Count() == 0 }
+
+// Contains reports whether the point (x,y,z) lies inside the box.
+func (b Box) Contains(x, y, z int) bool {
+	return x >= b.Lo[0] && x < b.Hi[0] &&
+		y >= b.Lo[1] && y < b.Hi[1] &&
+		z >= b.Lo[2] && z < b.Hi[2]
+}
+
+// Intersect returns the overlap of two boxes (possibly empty).
+func Intersect(a, b Box) Box {
+	var r Box
+	for d := 0; d < 3; d++ {
+		r.Lo[d] = max(a.Lo[d], b.Lo[d])
+		r.Hi[d] = min(a.Hi[d], b.Hi[d])
+		if r.Hi[d] < r.Lo[d] {
+			r.Hi[d] = r.Lo[d]
+		}
+	}
+	return r
+}
+
+// Layout describes how a global N[0]×N[1]×N[2] array is partitioned into
+// one rectangular box per rank, and in what axis order each rank stores its
+// local data. Order is a permutation of {0,1,2} from slowest to fastest
+// varying axis; e.g. Order={2,1,0} stores x fastest (contiguous).
+type Layout struct {
+	N     [3]int
+	Boxes []Box
+	Order [3]int
+}
+
+// Box returns the box owned by the given rank.
+func (l *Layout) Box(rank int) Box { return l.Boxes[rank] }
+
+// LocalIndex converts global coordinates to the local storage index within
+// the given rank's box.
+func (l *Layout) LocalIndex(rank int, g [3]int) int {
+	b := l.Boxes[rank]
+	o := l.Order
+	c0 := g[o[0]] - b.Lo[o[0]]
+	c1 := g[o[1]] - b.Lo[o[1]]
+	c2 := g[o[2]] - b.Lo[o[2]]
+	return (c0*b.Size(o[1])+c1)*b.Size(o[2]) + c2
+}
+
+// chunk returns the [lo,hi) range of the i-th of p near-equal chunks of n.
+func chunk(i, p, n int) (int, int) { return i * n / p, (i + 1) * n / p }
+
+// Block3D builds the PM-style 3-D block layout over a dims[0]×dims[1]×dims[2]
+// process grid (row-major rank order, z fastest in storage).
+func Block3D(n [3]int, dims [3]int) *Layout {
+	p := dims[0] * dims[1] * dims[2]
+	l := &Layout{N: n, Order: [3]int{0, 1, 2}}
+	l.Boxes = make([]Box, p)
+	for r := 0; r < p; r++ {
+		cz := r % dims[2]
+		cy := (r / dims[2]) % dims[1]
+		cx := r / (dims[1] * dims[2])
+		var b Box
+		b.Lo[0], b.Hi[0] = chunk(cx, dims[0], n[0])
+		b.Lo[1], b.Hi[1] = chunk(cy, dims[1], n[1])
+		b.Lo[2], b.Hi[2] = chunk(cz, dims[2], n[2])
+		l.Boxes[r] = b
+	}
+	return l
+}
+
+// pencilLayout builds a layout with the full extent along axis `full` and
+// the other two axes split over a p1×p2 grid; ranks are ordered so that
+// rank = c1*p2 + c2. The storage order puts axis `full` fastest.
+func pencilLayout(n [3]int, full int, p1, p2 int) *Layout {
+	// The two split axes, in ascending order.
+	var s1, s2 int
+	switch full {
+	case 0:
+		s1, s2 = 1, 2
+	case 1:
+		s1, s2 = 0, 2
+	default:
+		s1, s2 = 0, 1
+	}
+	l := &Layout{N: n, Order: [3]int{s1, s2, full}}
+	l.Boxes = make([]Box, p1*p2)
+	for c1 := 0; c1 < p1; c1++ {
+		for c2 := 0; c2 < p2; c2++ {
+			var b Box
+			b.Lo[full], b.Hi[full] = 0, n[full]
+			b.Lo[s1], b.Hi[s1] = chunk(c1, p1, n[s1])
+			b.Lo[s2], b.Hi[s2] = chunk(c2, p2, n[s2])
+			l.Boxes[c1*p2+c2] = b
+		}
+	}
+	return l
+}
+
+// PencilX returns the pencil layout with full x-extent, y split over p1 and
+// z split over p2.
+func PencilX(n [3]int, p1, p2 int) *Layout { return pencilLayout(n, 0, p1, p2) }
+
+// PencilY returns the pencil layout with full y-extent, x split over p1 and
+// z split over p2.
+func PencilY(n [3]int, p1, p2 int) *Layout { return pencilLayout(n, 1, p1, p2) }
+
+// PencilZ returns the pencil layout with full z-extent, x split over p1 and
+// y split over p2.
+func PencilZ(n [3]int, p1, p2 int) *Layout { return pencilLayout(n, 2, p1, p2) }
+
+// forEach visits every point of box b in the storage order `order`, calling
+// fn with the global coordinates and a running counter.
+func forEach(b Box, order [3]int, fn func(g [3]int, k int)) {
+	var g [3]int
+	k := 0
+	o0, o1, o2 := order[0], order[1], order[2]
+	for a := b.Lo[o0]; a < b.Hi[o0]; a++ {
+		g[o0] = a
+		for bb := b.Lo[o1]; bb < b.Hi[o1]; bb++ {
+			g[o1] = bb
+			for cc := b.Lo[o2]; cc < b.Hi[o2]; cc++ {
+				g[o2] = cc
+				fn(g, k)
+				k++
+			}
+		}
+	}
+}
+
+// Redistribute moves a distributed array from one layout to another. src is
+// the caller's local data in `from` storage order; the returned slice is the
+// caller's local data under `to`. Implemented as a single personalized
+// all-to-all of the box intersections.
+func Redistribute[T any](c *mpi.Comm, src []T, from, to *Layout) []T {
+	p := c.Size()
+	me := c.Rank()
+	if len(from.Boxes) != p || len(to.Boxes) != p {
+		panic(fmt.Sprintf("pfft: layout has %d/%d boxes for comm of size %d",
+			len(from.Boxes), len(to.Boxes), p))
+	}
+	if len(src) != from.Boxes[me].Count() {
+		panic(fmt.Sprintf("pfft: local data length %d != box count %d",
+			len(src), from.Boxes[me].Count()))
+	}
+	mine := from.Boxes[me]
+	sendParts := make([][]T, p)
+	for r := 0; r < p; r++ {
+		itc := Intersect(mine, to.Boxes[r])
+		if itc.Empty() {
+			continue
+		}
+		buf := make([]T, itc.Count())
+		forEach(itc, from.Order, func(g [3]int, k int) {
+			buf[k] = src[from.LocalIndex(me, g)]
+		})
+		sendParts[r] = buf
+	}
+	recv := mpi.AllToAll(c, sendParts)
+	dstBox := to.Boxes[me]
+	dst := make([]T, dstBox.Count())
+	for r := 0; r < p; r++ {
+		itc := Intersect(from.Boxes[r], dstBox)
+		if itc.Empty() {
+			continue
+		}
+		buf := recv[r]
+		if len(buf) != itc.Count() {
+			panic(fmt.Sprintf("pfft: received %d elements from rank %d, expected %d",
+				len(buf), r, itc.Count()))
+		}
+		// The sender packed in its own storage order; walk the same way.
+		forEach(itc, from.Order, func(g [3]int, k int) {
+			dst[to.LocalIndex(me, g)] = buf[k]
+		})
+	}
+	return dst
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

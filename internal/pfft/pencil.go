@@ -1,0 +1,160 @@
+package pfft
+
+import (
+	"fmt"
+
+	"hacc/internal/fft"
+	"hacc/internal/mpi"
+)
+
+// Pencil is a distributed 3-D FFT using a 2-D (pencil) domain decomposition
+// over a p1×p2 process grid. The forward transform runs
+//
+//	FFT_x → transpose(row comm) → FFT_y → transpose(col comm) → FFT_z
+//
+// leaving the result distributed in z-pencils; the inverse retraces the
+// steps. With p2 == 1 this degenerates into the slab decomposition used by
+// the first version of HACC (and on Roadrunner in Fig. 6).
+type Pencil struct {
+	comm    *mpi.Comm
+	n       [3]int
+	p1, p2  int
+	c1, c2  int
+	rowComm *mpi.Comm // ranks sharing c2, varying c1 (size p1)
+	colComm *mpi.Comm // ranks sharing c1, varying c2 (size p2)
+
+	layX, layY, layZ    *Layout
+	rowFrom, rowTo      *Layout // X→Y transpose restricted to my row
+	colFrom, colTo      *Layout // Y→Z transpose restricted to my column
+	planX, planY, planZ *fft.Plan
+	rowsX, rowsY, rowsZ int
+
+	// FFTCalls counts full 3-D transforms, for the bench harness.
+	FFTCalls int64
+}
+
+// NewPencil creates a distributed FFT plan on comm for an n[0]×n[1]×n[2]
+// grid using a p1×p2 process grid; p1·p2 must equal the communicator size.
+// Every rank of comm must call NewPencil collectively (it splits
+// sub-communicators).
+func NewPencil(c *mpi.Comm, n [3]int, p1, p2 int) *Pencil {
+	if p1*p2 != c.Size() {
+		panic(fmt.Sprintf("pfft: %d×%d process grid != comm size %d", p1, p2, c.Size()))
+	}
+	if p1 > n[0] || p1 > n[1] || p2 > n[1] || p2 > n[2] {
+		panic(fmt.Sprintf("pfft: process grid %d×%d too large for %v grid", p1, p2, n))
+	}
+	me := c.Rank()
+	pp := &Pencil{comm: c, n: n, p1: p1, p2: p2, c1: me / p2, c2: me % p2}
+	pp.layX = PencilX(n, p1, p2)
+	pp.layY = PencilY(n, p1, p2)
+	pp.layZ = PencilZ(n, p1, p2)
+	pp.rowComm = c.Split(pp.c2, pp.c1)
+	pp.colComm = c.Split(pp.c1, pp.c2)
+
+	// Row-restricted layouts for the X→Y transpose: all boxes share my c2.
+	pp.rowFrom = &Layout{N: n, Order: pp.layX.Order, Boxes: make([]Box, p1)}
+	pp.rowTo = &Layout{N: n, Order: pp.layY.Order, Boxes: make([]Box, p1)}
+	for j := 0; j < p1; j++ {
+		pp.rowFrom.Boxes[j] = pp.layX.Boxes[j*p2+pp.c2]
+		pp.rowTo.Boxes[j] = pp.layY.Boxes[j*p2+pp.c2]
+	}
+	// Column-restricted layouts for the Y→Z transpose: boxes share my c1.
+	pp.colFrom = &Layout{N: n, Order: pp.layY.Order, Boxes: make([]Box, p2)}
+	pp.colTo = &Layout{N: n, Order: pp.layZ.Order, Boxes: make([]Box, p2)}
+	for j := 0; j < p2; j++ {
+		pp.colFrom.Boxes[j] = pp.layY.Boxes[pp.c1*p2+j]
+		pp.colTo.Boxes[j] = pp.layZ.Boxes[pp.c1*p2+j]
+	}
+
+	pp.planX = fft.NewPlan(n[0])
+	if n[1] == n[0] {
+		pp.planY = pp.planX
+	} else {
+		pp.planY = fft.NewPlan(n[1])
+	}
+	switch {
+	case n[2] == n[0]:
+		pp.planZ = pp.planX
+	case n[2] == n[1]:
+		pp.planZ = pp.planY
+	default:
+		pp.planZ = fft.NewPlan(n[2])
+	}
+	pp.rowsX = pp.layX.Boxes[me].Count() / n[0]
+	pp.rowsY = pp.layY.Boxes[me].Count() / n[1]
+	pp.rowsZ = pp.layZ.Boxes[me].Count() / n[2]
+	return pp
+}
+
+// NewSlab creates a slab-decomposed FFT (1-D process grid), the
+// first-generation HACC decomposition subject to Nrank < N.
+func NewSlab(c *mpi.Comm, n [3]int) *Pencil {
+	return NewPencil(c, n, c.Size(), 1)
+}
+
+// NewAuto creates a pencil FFT with a balanced process grid.
+func NewAuto(c *mpi.Comm, n [3]int) *Pencil {
+	d := mpi.BalancedDims(c.Size(), 2)
+	return NewPencil(c, n, d[0], d[1])
+}
+
+// LayoutX returns the input layout (x-pencils).
+func (p *Pencil) LayoutX() *Layout { return p.layX }
+
+// LayoutZ returns the spectral-space layout (z-pencils).
+func (p *Pencil) LayoutZ() *Layout { return p.layZ }
+
+// Comm returns the communicator the plan was built on.
+func (p *Pencil) Comm() *mpi.Comm { return p.comm }
+
+// N returns the global grid dimensions.
+func (p *Pencil) N() [3]int { return p.n }
+
+// LocalX returns this rank's box in the x-pencil layout.
+func (p *Pencil) LocalX() Box { return p.layX.Boxes[p.comm.Rank()] }
+
+// LocalZ returns this rank's box in the z-pencil layout.
+func (p *Pencil) LocalZ() Box { return p.layZ.Boxes[p.comm.Rank()] }
+
+// Forward transforms data (local x-pencil block, x fastest) and returns the
+// spectral coefficients in the z-pencil layout (z fastest). The input slice
+// is consumed.
+func (p *Pencil) Forward(data []complex128) []complex128 {
+	if len(data) != p.layX.Boxes[p.comm.Rank()].Count() {
+		panic(fmt.Sprintf("pfft: forward input length %d != local x-pencil %d",
+			len(data), p.layX.Boxes[p.comm.Rank()].Count()))
+	}
+	p.planX.ForwardBatch(data, p.rowsX)
+	data = Redistribute(p.rowComm, data, p.rowFrom, p.rowTo)
+	p.planY.ForwardBatch(data, p.rowsY)
+	data = Redistribute(p.colComm, data, p.colFrom, p.colTo)
+	p.planZ.ForwardBatch(data, p.rowsZ)
+	p.FFTCalls++
+	return data
+}
+
+// Inverse transforms spectral data (z-pencil layout) back to real space
+// (x-pencil layout), scaled so that Inverse(Forward(x)) == x.
+func (p *Pencil) Inverse(data []complex128) []complex128 {
+	if len(data) != p.layZ.Boxes[p.comm.Rank()].Count() {
+		panic(fmt.Sprintf("pfft: inverse input length %d != local z-pencil %d",
+			len(data), p.layZ.Boxes[p.comm.Rank()].Count()))
+	}
+	p.planZ.InverseBatch(data, p.rowsZ)
+	data = Redistribute(p.colComm, data, p.colTo, p.colFrom)
+	p.planY.InverseBatch(data, p.rowsY)
+	data = Redistribute(p.rowComm, data, p.rowTo, p.rowFrom)
+	p.planX.InverseBatch(data, p.rowsX)
+	p.FFTCalls++
+	return data
+}
+
+// ForEachK visits every local point of the z-pencil (spectral) layout,
+// passing global mode indices and the local storage index.
+func (p *Pencil) ForEachK(fn func(kx, ky, kz, idx int)) {
+	b := p.LocalZ()
+	forEach(b, p.layZ.Order, func(g [3]int, k int) {
+		fn(g[0], g[1], g[2], k)
+	})
+}

@@ -1,0 +1,310 @@
+package shortrange
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hacc/internal/fft"
+	"hacc/internal/spectral"
+)
+
+// FitOptions controls the grid-force measurement and polynomial fit.
+type FitOptions struct {
+	GridN   int     // serial PM grid used for sampling (default 32)
+	RCut    float64 // fit range in cells (default 3.0)
+	RMin    float64 // smallest sampled radius (default 0.05)
+	Offsets int     // random source offsets averaged over (default 6)
+	Dirs    int     // random directions per (offset, radius) (default 8)
+	Radii   int     // radii sampled in (RMin, RCut+0.5] (default 48)
+	Sigma   float64 // filter width (default spectral.DefaultSigma)
+	Ns      int     // filter exponent (default spectral.DefaultNs)
+	Seed    int64
+}
+
+func (o *FitOptions) setDefaults() {
+	if o.GridN == 0 {
+		o.GridN = 32
+	}
+	if o.RCut == 0 {
+		o.RCut = 3.0
+	}
+	if o.RMin == 0 {
+		o.RMin = 0.05
+	}
+	if o.Offsets == 0 {
+		o.Offsets = 6
+	}
+	if o.Dirs == 0 {
+		o.Dirs = 8
+	}
+	if o.Radii == 0 {
+		o.Radii = 48
+	}
+	if o.Sigma == 0 {
+		o.Sigma = spectral.DefaultSigma
+	}
+	if o.Ns == 0 {
+		o.Ns = spectral.DefaultNs
+	}
+}
+
+// FitResult is the outcome of the grid-force fit.
+type FitResult struct {
+	Poly   [6]float64 // f_grid(s) ≈ Σ Poly[k]·s^k on (0, RCut²]
+	RCut   float64
+	RMSErr float64 // rms of (fit − sample) weighted by s^{3/2} (relative
+	// to the Newtonian force at each radius)
+	Samples int
+}
+
+// FitGridForce measures HACC's filtered PM force for a unit point source by
+// randomly sampled particle pairs on a small serial grid, then fits the
+// radial profile f_grid(s) with a fifth-order polynomial in s = r² — the
+// paper's procedure for constructing the short-range kernel (§II). The PM
+// coupling is normalized so the far-field force is exactly 1/r², making the
+// coefficients independent of cosmology; the caller scales by GM.
+func FitGridForce(o FitOptions) (*FitResult, error) {
+	o.setDefaults()
+	n := o.GridN
+	if float64(n) < 4*(o.RCut+1) {
+		return nil, fmt.Errorf("shortrange: grid %d too small for rcut %g", n, o.RCut)
+	}
+	rng := rand.New(rand.NewSource(o.Seed + 1))
+	var ss, fs []float64
+	for off := 0; off < o.Offsets; off++ {
+		src := [3]float64{
+			float64(n)/2 + rng.Float64() - 0.5,
+			float64(n)/2 + rng.Float64() - 0.5,
+			float64(n)/2 + rng.Float64() - 0.5,
+		}
+		probe := newSerialPM(n, o.Sigma, o.Ns)
+		probe.solve(src)
+		for ir := 0; ir < o.Radii; ir++ {
+			frac := (float64(ir) + 0.5) / float64(o.Radii)
+			r := o.RMin + frac*(o.RCut+0.5-o.RMin)
+			for id := 0; id < o.Dirs; id++ {
+				dir := randDir(rng)
+				px := src[0] + r*dir[0]
+				py := src[1] + r*dir[1]
+				pz := src[2] + r*dir[2]
+				a := probe.accelAt(px, py, pz)
+				// F_vec = −r_vec·f_grid(s): project onto r_vec.
+				rv := [3]float64{r * dir[0], r * dir[1], r * dir[2]}
+				s := r * r
+				f := -(a[0]*rv[0] + a[1]*rv[1] + a[2]*rv[2]) / s
+				ss = append(ss, s)
+				fs = append(fs, f)
+			}
+		}
+	}
+	coef, err := polyFit5(ss, fs, o.RCut*o.RCut)
+	if err != nil {
+		return nil, err
+	}
+	res := &FitResult{RCut: o.RCut, Samples: len(ss)}
+	copy(res.Poly[:], coef)
+	// Residual relative to the Newtonian force scale at each radius.
+	var acc float64
+	for i, s := range ss {
+		fit := coef[0] + s*(coef[1]+s*(coef[2]+s*(coef[3]+s*(coef[4]+s*coef[5]))))
+		rel := (fit - fs[i]) * s * math.Sqrt(s) // ÷ s^{-3/2}
+		acc += rel * rel
+	}
+	res.RMSErr = math.Sqrt(acc / float64(len(ss)))
+	return res, nil
+}
+
+func randDir(rng *rand.Rand) [3]float64 {
+	for {
+		x, y, z := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		s := math.Sqrt(x*x + y*y + z*z)
+		if s > 1e-6 {
+			return [3]float64{x / s, y / s, z / s}
+		}
+	}
+}
+
+// polyFit5 least-squares fits f(s) = Σ c_k s^k, k=0..5. The fit is done in
+// the scaled variable u = s/scale for conditioning and mapped back.
+func polyFit5(ss, fs []float64, scale float64) ([]float64, error) {
+	const m = 6
+	if len(ss) < m {
+		return nil, fmt.Errorf("shortrange: %d samples insufficient for degree-5 fit", len(ss))
+	}
+	var ata [m][m]float64
+	var atb [m]float64
+	for i, s := range ss {
+		u := s / scale
+		var row [m]float64
+		row[0] = 1
+		for k := 1; k < m; k++ {
+			row[k] = row[k-1] * u
+		}
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				ata[a][b] += row[a] * row[b]
+			}
+			atb[a] += row[a] * fs[i]
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < m; col++ {
+		p := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(ata[r][col]) > math.Abs(ata[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(ata[p][col]) < 1e-30 {
+			return nil, fmt.Errorf("shortrange: singular normal equations")
+		}
+		ata[col], ata[p] = ata[p], ata[col]
+		atb[col], atb[p] = atb[p], atb[col]
+		inv := 1 / ata[col][col]
+		for r := col + 1; r < m; r++ {
+			f := ata[r][col] * inv
+			for c := col; c < m; c++ {
+				ata[r][c] -= f * ata[col][c]
+			}
+			atb[r] -= f * atb[col]
+		}
+	}
+	var b [m]float64
+	for r := m - 1; r >= 0; r-- {
+		v := atb[r]
+		for c := r + 1; c < m; c++ {
+			v -= ata[r][c] * b[c]
+		}
+		b[r] = v / ata[r][r]
+	}
+	// Map back from u = s/scale: c_k = b_k / scale^k.
+	out := make([]float64, m)
+	pw := 1.0
+	for k := 0; k < m; k++ {
+		out[k] = b[k] / pw
+		pw *= scale
+	}
+	return out, nil
+}
+
+// serialPM is a single-rank spectral PM solver used only for kernel
+// construction and error analysis (it mirrors spectral.Poisson without the
+// distributed machinery).
+type serialPM struct {
+	n     int
+	sigma float64
+	ns    int
+	plan  *fft.Plan3
+	acc   [3][]float64
+}
+
+func newSerialPM(n int, sigma float64, ns int) *serialPM {
+	return &serialPM{n: n, sigma: sigma, ns: ns, plan: fft.NewPlan3(n, n, n)}
+}
+
+// solve computes the acceleration field of a unit CIC-deposited point mass
+// with far-field normalization 1/r².
+func (p *serialPM) solve(src [3]float64) {
+	n := p.n
+	rho := make([]complex128, n*n*n)
+	ix, iy, iz := int(math.Floor(src[0])), int(math.Floor(src[1])), int(math.Floor(src[2]))
+	fx, fy, fz := src[0]-float64(ix), src[1]-float64(iy), src[2]-float64(iz)
+	for dx := 0; dx < 2; dx++ {
+		for dy := 0; dy < 2; dy++ {
+			for dz := 0; dz < 2; dz++ {
+				wx, wy, wz := 1-fx, 1-fy, 1-fz
+				if dx == 1 {
+					wx = fx
+				}
+				if dy == 1 {
+					wy = fy
+				}
+				if dz == 1 {
+					wz = fz
+				}
+				i := ((mod(ix+dx, n))*n+mod(iy+dy, n))*n + mod(iz+dz, n)
+				rho[i] += complex(wx*wy*wz, 0)
+			}
+		}
+	}
+	p.plan.Forward(rho)
+	// Coupling 4π makes the pair force exactly r̂/r² in the far field.
+	const coupling = 4 * math.Pi
+	psi := rho
+	for mx := 0; mx < n; mx++ {
+		kx := spectral.KMode(mx, n)
+		for my := 0; my < n; my++ {
+			ky := spectral.KMode(my, n)
+			for mz := 0; mz < n; mz++ {
+				i := (mx*n+my)*n + mz
+				if mx == 0 && my == 0 && mz == 0 {
+					psi[i] = 0
+					continue
+				}
+				kz := spectral.KMode(mz, n)
+				g := 1 / spectral.Influence6(kx, ky, kz)
+				f := spectral.Filter(math.Sqrt(kx*kx+ky*ky+kz*kz), p.sigma, p.ns)
+				psi[i] *= complex(coupling*f*g, 0)
+			}
+		}
+	}
+	for d := 0; d < 3; d++ {
+		comp := make([]complex128, len(psi))
+		for mx := 0; mx < n; mx++ {
+			for my := 0; my < n; my++ {
+				for mz := 0; mz < n; mz++ {
+					i := (mx*n+my)*n + mz
+					var dk float64
+					switch d {
+					case 0:
+						dk = spectral.GradSL4(spectral.KMode(mx, n))
+					case 1:
+						dk = spectral.GradSL4(spectral.KMode(my, n))
+					default:
+						dk = spectral.GradSL4(spectral.KMode(mz, n))
+					}
+					v := psi[i]
+					comp[i] = complex(imag(v)*dk, -real(v)*dk)
+				}
+			}
+		}
+		p.plan.Inverse(comp)
+		p.acc[d] = make([]float64, len(comp))
+		for i, v := range comp {
+			p.acc[d][i] = real(v)
+		}
+	}
+}
+
+// accelAt CIC-interpolates the acceleration at a position.
+func (p *serialPM) accelAt(x, y, z float64) [3]float64 {
+	n := p.n
+	ix, iy, iz := int(math.Floor(x)), int(math.Floor(y)), int(math.Floor(z))
+	fx, fy, fz := x-float64(ix), y-float64(iy), z-float64(iz)
+	var out [3]float64
+	for dx := 0; dx < 2; dx++ {
+		for dy := 0; dy < 2; dy++ {
+			for dz := 0; dz < 2; dz++ {
+				wx, wy, wz := 1-fx, 1-fy, 1-fz
+				if dx == 1 {
+					wx = fx
+				}
+				if dy == 1 {
+					wy = fy
+				}
+				if dz == 1 {
+					wz = fz
+				}
+				i := ((mod(ix+dx, n))*n+mod(iy+dy, n))*n + mod(iz+dz, n)
+				w := wx * wy * wz
+				for d := 0; d < 3; d++ {
+					out[d] += p.acc[d][i] * w
+				}
+			}
+		}
+	}
+	return out
+}
+
+func mod(x, n int) int { return ((x % n) + n) % n }

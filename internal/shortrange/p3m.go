@@ -1,0 +1,190 @@
+package shortrange
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// ChainingMesh is the direct particle-particle short-range backend (the
+// P3M local solver HACC runs on accelerated systems like Roadrunner, §II).
+// Particles are binned into cells of side ≥ r_cut; each cell's particles
+// share one interaction list gathered from the 27 surrounding cells — the
+// "no mediating tree" configuration with large Nd.
+type ChainingMesh struct {
+	X, Y, Z    []float32 // cell-sorted working copy
+	AX, AY, AZ []float32
+	orig       []int32
+	dims       [3]int
+	lo         [3]float32
+	inv        float32 // 1/cellSize
+	starts     []int32 // CSR cell offsets, len = ncells+1
+
+	// Interactions counts pair evaluations (bench harness).
+	Interactions atomic.Int64
+}
+
+// BuildMesh bins the particles into a chaining mesh with the given cell
+// size (use the kernel's RCut or slightly larger).
+func BuildMesh(x, y, z []float32, cellSize float64) *ChainingMesh {
+	n := len(x)
+	m := &ChainingMesh{inv: float32(1 / cellSize)}
+	if n == 0 {
+		m.starts = []int32{0}
+		m.dims = [3]int{1, 1, 1}
+		return m
+	}
+	var hi [3]float32
+	m.lo = [3]float32{x[0], y[0], z[0]}
+	hi = m.lo
+	for i := 0; i < n; i++ {
+		m.lo[0] = min32(m.lo[0], x[i])
+		m.lo[1] = min32(m.lo[1], y[i])
+		m.lo[2] = min32(m.lo[2], z[i])
+		hi[0] = max32(hi[0], x[i])
+		hi[1] = max32(hi[1], y[i])
+		hi[2] = max32(hi[2], z[i])
+	}
+	for d := 0; d < 3; d++ {
+		ext := float64(hi[d]-m.lo[d]) + 1e-4
+		m.dims[d] = int(math.Ceil(ext/cellSize)) + 1
+		if m.dims[d] < 1 {
+			m.dims[d] = 1
+		}
+	}
+	ncell := m.dims[0] * m.dims[1] * m.dims[2]
+	counts := make([]int32, ncell+1)
+	cellOf := make([]int32, n)
+	for i := 0; i < n; i++ {
+		c := m.cellIndex(x[i], y[i], z[i])
+		cellOf[i] = c
+		counts[c+1]++
+	}
+	for c := 0; c < ncell; c++ {
+		counts[c+1] += counts[c]
+	}
+	m.starts = counts
+	m.X = make([]float32, n)
+	m.Y = make([]float32, n)
+	m.Z = make([]float32, n)
+	m.AX = make([]float32, n)
+	m.AY = make([]float32, n)
+	m.AZ = make([]float32, n)
+	m.orig = make([]int32, n)
+	cursor := make([]int32, ncell)
+	copy(cursor, counts[:ncell])
+	for i := 0; i < n; i++ {
+		c := cellOf[i]
+		p := cursor[c]
+		cursor[c]++
+		m.X[p], m.Y[p], m.Z[p] = x[i], y[i], z[i]
+		m.orig[p] = int32(i)
+	}
+	return m
+}
+
+func (m *ChainingMesh) cellIndex(x, y, z float32) int32 {
+	cx := clampCell(int((x-m.lo[0])*m.inv), m.dims[0])
+	cy := clampCell(int((y-m.lo[1])*m.inv), m.dims[1])
+	cz := clampCell(int((z-m.lo[2])*m.inv), m.dims[2])
+	return int32((cx*m.dims[1]+cy)*m.dims[2] + cz)
+}
+
+func clampCell(c, n int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// ComputeForces evaluates the short-range force cell by cell with `threads`
+// goroutines; each cell's particles share the 27-cell interaction list.
+func (m *ChainingMesh) ComputeForces(kern func(lx, ly, lz, nx, ny, nz, ax, ay, az []float32) int64, threads int) {
+	for i := range m.AX {
+		m.AX[i], m.AY[i], m.AZ[i] = 0, 0, 0
+	}
+	ncell := m.dims[0] * m.dims[1] * m.dims[2]
+	if threads < 1 {
+		threads = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var nbrX, nbrY, nbrZ []float32
+			var inter int64
+			for {
+				c := int(next.Add(1) - 1)
+				if c >= ncell {
+					break
+				}
+				s, e := m.starts[c], m.starts[c+1]
+				if s == e {
+					continue
+				}
+				cz := c % m.dims[2]
+				cy := (c / m.dims[2]) % m.dims[1]
+				cx := c / (m.dims[1] * m.dims[2])
+				nbrX = nbrX[:0]
+				nbrY = nbrY[:0]
+				nbrZ = nbrZ[:0]
+				for dx := -1; dx <= 1; dx++ {
+					x := cx + dx
+					if x < 0 || x >= m.dims[0] {
+						continue
+					}
+					for dy := -1; dy <= 1; dy++ {
+						y := cy + dy
+						if y < 0 || y >= m.dims[1] {
+							continue
+						}
+						for dz := -1; dz <= 1; dz++ {
+							z := cz + dz
+							if z < 0 || z >= m.dims[2] {
+								continue
+							}
+							nc := (x*m.dims[1]+y)*m.dims[2] + z
+							ns, ne := m.starts[nc], m.starts[nc+1]
+							nbrX = append(nbrX, m.X[ns:ne]...)
+							nbrY = append(nbrY, m.Y[ns:ne]...)
+							nbrZ = append(nbrZ, m.Z[ns:ne]...)
+						}
+					}
+				}
+				inter += kern(m.X[s:e], m.Y[s:e], m.Z[s:e],
+					nbrX, nbrY, nbrZ,
+					m.AX[s:e], m.AY[s:e], m.AZ[s:e])
+			}
+			m.Interactions.Add(inter)
+		}()
+	}
+	wg.Wait()
+}
+
+// AccelInto scatters accelerations back to the caller's particle order.
+func (m *ChainingMesh) AccelInto(ax, ay, az []float32) {
+	for i, o := range m.orig {
+		ax[o] += m.AX[i]
+		ay[o] += m.AY[i]
+		az[o] += m.AZ[i]
+	}
+}
+
+func min32(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}

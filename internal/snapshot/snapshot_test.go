@@ -1,0 +1,70 @@
+package snapshot
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"hacc/internal/domain"
+)
+
+func makeParticles(n int, seed int64) *domain.Particles {
+	rng := rand.New(rand.NewSource(seed))
+	var p domain.Particles
+	for i := 0; i < n; i++ {
+		p.Append(rng.Float32(), rng.Float32(), rng.Float32(),
+			rng.Float32(), rng.Float32(), rng.Float32(), uint64(i*7))
+	}
+	return &p
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := makeParticles(123, 1)
+	h := Header{NGrid: 64, BoxMpc: 250, A: 0.5, OmegaM: 0.265, Seed: 42}
+	var buf bytes.Buffer
+	if err := Write(&buf, h, p); err != nil {
+		t.Fatal(err)
+	}
+	h2, q, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NGrid != 64 || h2.BoxMpc != 250 || h2.A != 0.5 || h2.NP != 123 {
+		t.Errorf("header %+v", h2)
+	}
+	if q.Len() != p.Len() {
+		t.Fatalf("count %d want %d", q.Len(), p.Len())
+	}
+	for i := 0; i < p.Len(); i++ {
+		if q.X[i] != p.X[i] || q.Vz[i] != p.Vz[i] || q.ID[i] != p.ID[i] {
+			t.Fatalf("particle %d differs", i)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	p := makeParticles(50, 2)
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	h := Header{NGrid: 32, BoxMpc: 100, A: 1}
+	if err := SaveFile(path, h, p); err != nil {
+		t.Fatal(err)
+	}
+	_, q, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 50 || q.ID[49] != p.ID[49] {
+		t.Error("file round trip broken")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, _, err := Read(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Error("accepted garbage")
+	}
+	var empty bytes.Buffer
+	if _, _, err := Read(&empty); err == nil {
+		t.Error("accepted empty input")
+	}
+}

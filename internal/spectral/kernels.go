@@ -1,0 +1,66 @@
+// Package spectral implements HACC's long/medium-range force solver: a
+// spectrally filtered particle-mesh method (paper §II). The "Poisson solve"
+// is the composition of four k-space kernels applied inside a single
+// distributed FFT:
+//
+//   - the isotropizing CIC-noise filter exp(−k²σ²/4)·[sinc(k/2)]^ns (eq. 5),
+//   - a sixth-order periodic influence function (spectral inverse Laplacian),
+//   - fourth-order Super-Lanczos spectral differencing for the gradient,
+//   - the Vlasov-Poisson coupling constant (3/2)Ωm (DESIGN.md code units).
+package spectral
+
+import "math"
+
+// Default filter parameters from the paper: σ=0.8 grid cells, ns=3.
+const (
+	DefaultSigma = 0.8
+	DefaultNs    = 3
+)
+
+// Filter evaluates the isotropizing spectral filter of eq. (5) at radial
+// wavenumber k (grid units, k∈[0, √3·π]).
+func Filter(k, sigma float64, ns int) float64 {
+	g := math.Exp(-k * k * sigma * sigma / 4)
+	if k < 1e-12 {
+		return g
+	}
+	s := math.Sin(k/2) / (k / 2)
+	return g * math.Pow(s, float64(ns))
+}
+
+// Influence6 returns the eigenvalue λ(k) of the sixth-order periodic
+// discrete Laplacian for the mode with components (kx,ky,kz); the influence
+// function (spectral inverse Laplacian) is 1/λ. λ → −k² as k → 0 and λ < 0
+// for every non-zero mode.
+func Influence6(kx, ky, kz float64) float64 {
+	return lap6(kx) + lap6(ky) + lap6(kz)
+}
+
+// lap6 is the 1-D sixth-order second-derivative eigenvalue
+// (stencil 1/90·[2, −27, 270, −490, 270, −27, 2]).
+func lap6(k float64) float64 {
+	return -49.0/18 + 3*math.Cos(k) - 0.3*math.Cos(2*k) + math.Cos(3*k)/45
+}
+
+// GradSL4 returns the fourth-order Super-Lanczos spectral differencing
+// multiplier D(k) (Hamming 1998), so that ∂/∂x ↔ i·D(k). D(k) → k as k → 0.
+func GradSL4(k float64) float64 {
+	return (8*math.Sin(k) - math.Sin(2*k)) / 6
+}
+
+// KMode converts a mode index m on an n-point periodic grid to the signed
+// wavenumber k = 2π·m̃/n with m̃ ∈ [−n/2, n/2).
+func KMode(m, n int) float64 {
+	if m > n/2 {
+		m -= n
+	}
+	return 2 * math.Pi * float64(m) / float64(n)
+}
+
+// sinc is sin(x)/x with the removable singularity filled in.
+func sinc(x float64) float64 {
+	if math.Abs(x) < 1e-12 {
+		return 1
+	}
+	return math.Sin(x) / x
+}

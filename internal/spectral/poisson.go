@@ -1,0 +1,149 @@
+package spectral
+
+import (
+	"math"
+
+	"hacc/internal/grid"
+	"hacc/internal/mpi"
+	"hacc/internal/pfft"
+)
+
+// Options configures the Poisson solver.
+type Options struct {
+	OmegaM float64 // matter density; sets the coupling (3/2)Ωm
+	Sigma  float64 // filter width in grid cells; DefaultSigma if 0
+	Ns     int     // filter sinc exponent; DefaultNs if 0
+	Filter bool    // apply the isotropizing filter (on in production)
+	Slab   bool    // use the slab FFT decomposition instead of pencils
+
+	// Deconvolve divides out the CIC assignment window twice (deposit and
+	// interpolation), the conventional sharpened-PM scheme. HACC replaces
+	// this with the isotropizing filter; the option exists as the baseline
+	// for the anisotropy ablation (Filter and Deconvolve are exclusive).
+	Deconvolve bool
+}
+
+// Poisson is the distributed long/medium-range force solver. It owns the
+// pencil FFT, the block↔pencil redistribution layouts, and the precomputed
+// k-space kernel on this rank's share of spectral space.
+type Poisson struct {
+	comm   *mpi.Comm
+	dec    *grid.Decomp
+	pen    *pfft.Pencil
+	opts   Options
+	kernel []float64    // (3/2)Ωm · F(k) · 1/λ(k) on local z-pencil modes
+	dTab   [3][]float64 // GradSL4 per axis mode index
+}
+
+// NewPoisson builds the solver. Collective over comm.
+func NewPoisson(c *mpi.Comm, dec *grid.Decomp, opts Options) *Poisson {
+	if opts.Sigma == 0 {
+		opts.Sigma = DefaultSigma
+	}
+	if opts.Ns == 0 {
+		opts.Ns = DefaultNs
+	}
+	n := dec.N
+	var pen *pfft.Pencil
+	if opts.Slab {
+		pen = pfft.NewSlab(c, n)
+	} else {
+		pen = pfft.NewAuto(c, n)
+	}
+	p := &Poisson{comm: c, dec: dec, pen: pen, opts: opts}
+	for d := 0; d < 3; d++ {
+		p.dTab[d] = make([]float64, n[d])
+		for m := 0; m < n[d]; m++ {
+			p.dTab[d][m] = GradSL4(KMode(m, n[d]))
+		}
+	}
+	coupling := 1.5 * opts.OmegaM
+	p.kernel = make([]float64, pen.LocalZ().Count())
+	pen.ForEachK(func(mx, my, mz, idx int) {
+		if mx == 0 && my == 0 && mz == 0 {
+			p.kernel[idx] = 0 // zero the DC mode: mean density sources nothing
+			return
+		}
+		kx := KMode(mx, n[0])
+		ky := KMode(my, n[1])
+		kz := KMode(mz, n[2])
+		g := 1 / Influence6(kx, ky, kz)
+		f := 1.0
+		if p.opts.Filter {
+			kr := math.Sqrt(kx*kx + ky*ky + kz*kz)
+			f = Filter(kr, p.opts.Sigma, p.opts.Ns)
+		} else if p.opts.Deconvolve {
+			w := sinc(kx/2) * sinc(ky/2) * sinc(kz/2)
+			f = 1 / (w * w * w * w)
+		}
+		p.kernel[idx] = coupling * f * g
+	})
+	return p
+}
+
+// Pencil exposes the underlying distributed FFT (for benchmarks).
+func (p *Poisson) Pencil() *pfft.Pencil { return p.pen }
+
+// Solve computes the acceleration field −∇ψ with ∇²ψ = (3/2)Ωm·δ from the
+// deposited density (rho must already have ghost contributions folded in).
+// The three acceleration components are stored into acc[0..2] (owned
+// regions; the caller fills ghosts afterwards). Collective over comm.
+func (p *Poisson) Solve(rho *grid.Field, acc *[3]*grid.Field) {
+	psi := p.forwardPotential(rho)
+	blockLay := p.dec.Layout()
+	penXLay := p.pen.LayoutX()
+	for d := 0; d < 3; d++ {
+		comp := make([]complex128, len(psi))
+		dt := p.dTab[d]
+		p.pen.ForEachK(func(mx, my, mz, idx int) {
+			var dk float64
+			switch d {
+			case 0:
+				dk = dt[mx]
+			case 1:
+				dk = dt[my]
+			default:
+				dk = dt[mz]
+			}
+			// acceleration = −∂ψ ↔ −i·D(k)·ψ̂
+			v := psi[idx]
+			comp[idx] = complex(imag(v)*dk, -real(v)*dk)
+		})
+		rs := p.pen.Inverse(comp)
+		vals := make([]float64, len(rs))
+		for i, v := range rs {
+			vals[i] = real(v)
+		}
+		back := pfft.Redistribute(p.comm, vals, penXLay, blockLay)
+		acc[d].SetOwned(back)
+	}
+}
+
+// SolvePotential computes the scalar potential ψ itself (diagnostics and
+// force-matching; the short-range kernel fit samples PM forces instead).
+func (p *Poisson) SolvePotential(rho *grid.Field, out *grid.Field) {
+	psi := p.forwardPotential(rho)
+	rs := p.pen.Inverse(psi)
+	vals := make([]float64, len(rs))
+	for i, v := range rs {
+		vals[i] = real(v)
+	}
+	back := pfft.Redistribute(p.comm, vals, p.pen.LayoutX(), p.dec.Layout())
+	out.SetOwned(back)
+}
+
+// forwardPotential deposits rho through the FFT and applies the composed
+// kernel, returning ψ̂ in the z-pencil layout.
+func (p *Poisson) forwardPotential(rho *grid.Field) []complex128 {
+	owned := rho.Owned()
+	moved := pfft.Redistribute(p.comm, owned, p.dec.Layout(), p.pen.LayoutX())
+	data := make([]complex128, len(moved))
+	for i, v := range moved {
+		data[i] = complex(v, 0)
+	}
+	spec := p.pen.Forward(data)
+	for i := range spec {
+		spec[i] *= complex(p.kernel[i], 0)
+	}
+	return spec
+}

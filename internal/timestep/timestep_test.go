@@ -1,0 +1,134 @@
+package timestep
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hacc/internal/cosmology"
+)
+
+func TestOpsStructure(t *testing.T) {
+	p := cosmology.EdS()
+	for _, nc := range []int{1, 3, 5} {
+		ops := Ops(p, 0.5, 0.6, nc)
+		if len(ops) != 2+3*nc {
+			t.Fatalf("nc=%d: %d ops", nc, len(ops))
+		}
+		if ops[0].Kind != KickLong || ops[len(ops)-1].Kind != KickLong {
+			t.Error("sequence must start and end with long-range kicks")
+		}
+		for j := 0; j < nc; j++ {
+			base := 1 + 3*j
+			if ops[base].Kind != Stream || ops[base+1].Kind != KickShort || ops[base+2].Kind != Stream {
+				t.Fatalf("sub-cycle %d is not SKS: %v %v %v",
+					j, ops[base].Kind, ops[base+1].Kind, ops[base+2].Kind)
+			}
+		}
+	}
+}
+
+func TestOpsWeightsSumExactly(t *testing.T) {
+	// Σ stream weights = DriftFactor(a0,a1); Σ kick weights (long+short
+	// each) = KickFactor(a0,a1): both force components accumulate exactly
+	// the full interval.
+	p := cosmology.Default()
+	a0, a1 := 0.3, 0.35
+	for _, nc := range []int{1, 2, 5, 8} {
+		ops := Ops(p, a0, a1, nc)
+		var stream, kickL, kickS float64
+		for _, op := range ops {
+			switch op.Kind {
+			case Stream:
+				stream += op.W
+			case KickLong:
+				kickL += op.W
+			case KickShort:
+				kickS += op.W
+			}
+		}
+		wantD := p.DriftFactor(a0, a1)
+		wantK := p.KickFactor(a0, a1)
+		if math.Abs(stream-wantD) > 1e-12*wantD {
+			t.Errorf("nc=%d: stream total %g want %g", nc, stream, wantD)
+		}
+		if math.Abs(kickL-wantK) > 1e-9*wantK {
+			t.Errorf("nc=%d: long kick total %g want %g", nc, kickL, wantK)
+		}
+		if math.Abs(kickS-wantK) > 1e-9*wantK {
+			t.Errorf("nc=%d: short kick total %g want %g", nc, kickS, wantK)
+		}
+	}
+}
+
+func TestOpsTimeSymmetric(t *testing.T) {
+	// The SKS sequence must be palindromic in kind and weight.
+	p := cosmology.Default()
+	ops := Ops(p, 0.4, 0.5, 4)
+	n := len(ops)
+	for i := 0; i < n/2; i++ {
+		a, b := ops[i], ops[n-1-i]
+		if a.Kind != b.Kind {
+			t.Fatalf("op %d kind %v != mirrored %v", i, a.Kind, b.Kind)
+		}
+		// Weights mirror only approximately for kicks (the integrand is not
+		// symmetric in a), but stream halves within a sub-cycle and the two
+		// long kicks are exactly equal.
+		if a.Kind == KickLong && a.W != b.W {
+			t.Fatalf("long kick halves differ: %g %g", a.W, b.W)
+		}
+	}
+}
+
+func TestOpsPositiveWeightsProperty(t *testing.T) {
+	p := cosmology.Default()
+	f := func(x float64, ncRaw uint8) bool {
+		a0 := 0.05 + math.Mod(math.Abs(x), 0.9)
+		a1 := a0 + 0.05
+		nc := 1 + int(ncRaw%9)
+		for _, op := range Ops(p, a0, a1, nc) {
+			if op.W <= 0 || math.IsNaN(op.W) {
+				return false
+			}
+			if op.A < a0-1e-12 || op.A > a1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	good := Schedule{AInit: 0.04, AFinal: 1, Steps: 10, SubCycles: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Schedule{
+		{AInit: 0, AFinal: 1, Steps: 5, SubCycles: 2},
+		{AInit: 0.5, AFinal: 0.4, Steps: 5, SubCycles: 2},
+		{AInit: 0.1, AFinal: 1, Steps: 0, SubCycles: 2},
+		{AInit: 0.1, AFinal: 1, Steps: 5, SubCycles: 0},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("accepted invalid schedule %+v", bad)
+		}
+	}
+}
+
+func TestStepBoundsCoverRange(t *testing.T) {
+	s := Schedule{AInit: 0.1, AFinal: 1, Steps: 7, SubCycles: 3}
+	prev := s.AInit
+	for i := 0; i < s.Steps; i++ {
+		a0, a1 := s.StepBounds(i)
+		if math.Abs(a0-prev) > 1e-12 {
+			t.Fatalf("step %d: gap %g vs %g", i, a0, prev)
+		}
+		prev = a1
+	}
+	if math.Abs(prev-s.AFinal) > 1e-12 {
+		t.Fatalf("steps end at %g, want %g", prev, s.AFinal)
+	}
+}

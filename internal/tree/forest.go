@@ -1,0 +1,177 @@
+package tree
+
+import (
+	"sync"
+)
+
+// Forest is the multi-tree configuration the paper lists as the next
+// load-balancing step (§VI: "improve (nodal) load balancing by using
+// multiple trees at each rank, enabling an improved threading of the
+// tree-build"). The rank's particles are split into slabs along the
+// longest axis; each slab gets its own RCB tree, built concurrently. A
+// slab's tree also holds halo copies of particles within RCut of its
+// boundaries so that its owned particles see every neighbor; forces
+// computed for halo copies are discarded (their owning slab computes them).
+type Forest struct {
+	Trees []*Tree
+	// gather[t] lists the caller indices in tree t's build set, owned
+	// particles first; owned[t] is the count of owned entries.
+	gather [][]int32
+	owned  []int32
+}
+
+// BuildForest partitions the particles into nsub slabs (along the longest
+// bounding-box axis) and builds the sub-trees concurrently.
+func BuildForest(x, y, z []float32, leafSize, nsub int, rcut float64) *Forest {
+	n := len(x)
+	if nsub < 1 {
+		nsub = 1
+	}
+	f := &Forest{
+		Trees:  make([]*Tree, nsub),
+		gather: make([][]int32, nsub),
+		owned:  make([]int32, nsub),
+	}
+	if n == 0 {
+		for t := 0; t < nsub; t++ {
+			f.Trees[t] = Build(nil, nil, nil, leafSize)
+		}
+		return f
+	}
+	// Longest axis and its range.
+	var lo, hi [3]float32
+	lo = [3]float32{x[0], y[0], z[0]}
+	hi = lo
+	for i := 0; i < n; i++ {
+		lo[0] = min32(lo[0], x[i])
+		lo[1] = min32(lo[1], y[i])
+		lo[2] = min32(lo[2], z[i])
+		hi[0] = max32(hi[0], x[i])
+		hi[1] = max32(hi[1], y[i])
+		hi[2] = max32(hi[2], z[i])
+	}
+	dim := 0
+	for d := 1; d < 3; d++ {
+		if hi[d]-lo[d] > hi[dim]-lo[dim] {
+			dim = d
+		}
+	}
+	coords := [3][]float32{x, y, z}[dim]
+	span := float64(hi[dim]-lo[dim]) + 1e-6
+	// Slabs narrower than the cutoff would need halo copies from beyond
+	// their immediate neighbors; cap the tree count instead.
+	if rcut > 0 {
+		if maxSub := int(span / rcut); nsub > maxSub {
+			nsub = maxSub
+		}
+		if nsub < 1 {
+			nsub = 1
+		}
+		f.Trees = f.Trees[:nsub]
+		f.gather = f.gather[:nsub]
+		f.owned = f.owned[:nsub]
+	}
+	slabOf := func(v float32) int {
+		s := int(float64(v-lo[dim]) / span * float64(nsub))
+		if s < 0 {
+			s = 0
+		}
+		if s >= nsub {
+			s = nsub - 1
+		}
+		return s
+	}
+	// Owned membership first, then halo copies within rcut of each slab.
+	for i := 0; i < n; i++ {
+		s := slabOf(coords[i])
+		f.gather[s] = append(f.gather[s], int32(i))
+	}
+	for t := 0; t < nsub; t++ {
+		f.owned[t] = int32(len(f.gather[t]))
+	}
+	rc := float32(rcut)
+	for i := 0; i < n; i++ {
+		s := slabOf(coords[i])
+		slo := lo[dim] + float32(float64(s)*span/float64(nsub))
+		shi := lo[dim] + float32(float64(s+1)*span/float64(nsub))
+		if s > 0 && coords[i]-slo < rc {
+			f.gather[s-1] = append(f.gather[s-1], int32(i))
+		}
+		if s < nsub-1 && shi-coords[i] < rc {
+			f.gather[s+1] = append(f.gather[s+1], int32(i))
+		}
+	}
+	// Concurrent builds (the threading-of-tree-build payoff).
+	var wg sync.WaitGroup
+	for t := 0; t < nsub; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			idx := f.gather[t]
+			tx := make([]float32, len(idx))
+			ty := make([]float32, len(idx))
+			tz := make([]float32, len(idx))
+			for j, g := range idx {
+				tx[j], ty[j], tz[j] = x[g], y[g], z[g]
+			}
+			f.Trees[t] = Build(tx, ty, tz, leafSize)
+		}(t)
+	}
+	wg.Wait()
+	return f
+}
+
+// ComputeForces evaluates every sub-tree; threads are split across trees
+// and within them.
+func (f *Forest) ComputeForces(kern LeafKernel, rcut float64, threads int) {
+	perTree := threads / len(f.Trees)
+	if perTree < 1 {
+		perTree = 1
+	}
+	var wg sync.WaitGroup
+	for t := range f.Trees {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			f.Trees[t].ComputeForces(kern, rcut, perTree)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// AccelInto scatters the accelerations of owned particles back to the
+// caller's order; halo-copy results are discarded.
+func (f *Forest) AccelInto(ax, ay, az []float32) {
+	for t, tr := range f.Trees {
+		idx := f.gather[t]
+		nOwn := f.owned[t]
+		for i, o := range tr.orig {
+			if o >= nOwn {
+				continue
+			}
+			g := idx[o]
+			ax[g] += tr.AX[i]
+			ay[g] += tr.AY[i]
+			az[g] += tr.AZ[i]
+		}
+	}
+}
+
+// Interactions sums pair-interaction counts across the sub-trees (halo
+// duplication included: it is real work done).
+func (f *Forest) Interactions() int64 {
+	var s int64
+	for _, t := range f.Trees {
+		s += t.Interactions.Load()
+	}
+	return s
+}
+
+// NeighborCount sums gathered neighbor-list lengths across sub-trees.
+func (f *Forest) NeighborCount() int64 {
+	var s int64
+	for _, t := range f.Trees {
+		s += t.NeighborCount.Load()
+	}
+	return s
+}

@@ -1,0 +1,304 @@
+// Package tree implements HACC's rank-local recursive coordinate bisection
+// (RCB) tree (paper §III). The design follows the paper's two principles:
+//
+//   - Spatial locality: particles are recursively partitioned in place, so
+//     after the build each subtree occupies a contiguous memory range and
+//     leaf force evaluation touches only nearby memory.
+//   - Walk minimization: leaves are "fat" (tens to hundreds of particles);
+//     every particle in a leaf shares one contiguous interaction list, so
+//     work shifts from slow pointer-chasing walks into the streaming force
+//     kernel.
+//
+// The short-range force is compact (zero beyond RCut), and periodic images
+// are materialized as overloaded replica particles by package domain, so
+// the tree is strictly local with open boundaries and no multipoles.
+package tree
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// LeafKernel evaluates the short-range force of every neighbor (nx,ny,nz)
+// on every target particle (lx,ly,lz), accumulating into (ax,ay,az) and
+// returning the number of pair interactions evaluated.
+type LeafKernel func(lx, ly, lz, nx, ny, nz, ax, ay, az []float32) int64
+
+// node is one RCB tree node; leaves have left == -1.
+type node struct {
+	lo, hi      [3]float32
+	start, end  int32
+	left, right int32
+}
+
+// Tree is a built RCB tree over a working copy of the particles.
+type Tree struct {
+	LeafSize   int
+	X, Y, Z    []float32 // particle coordinates, leaf-contiguous after build
+	AX, AY, AZ []float32
+	orig       []int32 // original index of each working slot
+	nodes      []node
+	swapBuf    []int32 // recorded swaps for the three-phase partition
+
+	// Stats for the bench harness (Fig. 5 / §III time-split claims).
+	Interactions  atomic.Int64
+	NodesVisited  atomic.Int64
+	NeighborCount atomic.Int64 // summed neighbor-list lengths over leaves
+	LeafCount     int
+}
+
+// Build copies the coordinates and constructs the tree. leafSize is the
+// fat-leaf capacity (paper: up to hundreds before the walk/kernel crossover).
+func Build(x, y, z []float32, leafSize int) *Tree {
+	n := len(x)
+	if leafSize < 1 {
+		leafSize = 1
+	}
+	t := &Tree{LeafSize: leafSize}
+	t.X = append(make([]float32, 0, n), x...)
+	t.Y = append(make([]float32, 0, n), y...)
+	t.Z = append(make([]float32, 0, n), z...)
+	t.AX = make([]float32, n)
+	t.AY = make([]float32, n)
+	t.AZ = make([]float32, n)
+	t.orig = make([]int32, n)
+	for i := range t.orig {
+		t.orig[i] = int32(i)
+	}
+	if n > 0 {
+		t.build(0, int32(n))
+	}
+	for _, nd := range t.nodes {
+		if nd.left < 0 {
+			t.LeafCount++
+		}
+	}
+	return t
+}
+
+// build adds the subtree for particle range [start,end) and returns its
+// node index.
+func (t *Tree) build(start, end int32) int32 {
+	var nd node
+	nd.start, nd.end = start, end
+	nd.lo = [3]float32{t.X[start], t.Y[start], t.Z[start]}
+	nd.hi = nd.lo
+	for i := start; i < end; i++ {
+		nd.lo[0] = min32(nd.lo[0], t.X[i])
+		nd.hi[0] = max32(nd.hi[0], t.X[i])
+		nd.lo[1] = min32(nd.lo[1], t.Y[i])
+		nd.hi[1] = max32(nd.hi[1], t.Y[i])
+		nd.lo[2] = min32(nd.lo[2], t.Z[i])
+		nd.hi[2] = max32(nd.hi[2], t.Z[i])
+	}
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, nd)
+	if end-start <= int32(t.LeafSize) {
+		t.nodes[idx].left, t.nodes[idx].right = -1, -1
+		return idx
+	}
+	// Split at the center-of-mass coordinate perpendicular to the longest
+	// side (equal particle masses: the mean coordinate).
+	dim := 0
+	for d := 1; d < 3; d++ {
+		if nd.hi[d]-nd.lo[d] > nd.hi[dim]-nd.lo[dim] {
+			dim = d
+		}
+	}
+	coord := t.axis(dim)
+	var sum float64
+	for i := start; i < end; i++ {
+		sum += float64(coord[i])
+	}
+	pivot := float32(sum / float64(end-start))
+	mid := t.partition(start, end, dim, pivot)
+	if mid == start || mid == end {
+		// Degenerate (all coordinates equal on this axis): median split by
+		// index to guarantee progress.
+		mid = (start + end) / 2
+	}
+	// Children are appended after this node; record their indices.
+	l := t.build(start, mid)
+	r := t.build(mid, end)
+	t.nodes[idx].left, t.nodes[idx].right = l, r
+	return idx
+}
+
+func (t *Tree) axis(d int) []float32 {
+	switch d {
+	case 0:
+		return t.X
+	case 1:
+		return t.Y
+	default:
+		return t.Z
+	}
+}
+
+// partition reorders [start,end) so particles with coord < pivot precede
+// the rest, returning the boundary. Three-phase scheme from §III: the
+// dividing coordinate is swept first, recording swaps; the recorded swaps
+// are then replayed over the remaining arrays, which lets the hardware
+// prefetcher stream each array independently.
+func (t *Tree) partition(start, end int32, dim int, pivot float32) int32 {
+	coord := t.axis(dim)
+	t.swapBuf = t.swapBuf[:0]
+	i, j := start, end-1
+	for {
+		for i <= j && coord[i] < pivot {
+			i++
+		}
+		for i <= j && coord[j] >= pivot {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		coord[i], coord[j] = coord[j], coord[i]
+		t.swapBuf = append(t.swapBuf, i, j)
+		i++
+		j--
+	}
+	// Phase 2/3: replay swaps on the remaining arrays.
+	for d := 0; d < 3; d++ {
+		if d == dim {
+			continue
+		}
+		arr := t.axis(d)
+		for k := 0; k < len(t.swapBuf); k += 2 {
+			a, b := t.swapBuf[k], t.swapBuf[k+1]
+			arr[a], arr[b] = arr[b], arr[a]
+		}
+	}
+	for k := 0; k < len(t.swapBuf); k += 2 {
+		a, b := t.swapBuf[k], t.swapBuf[k+1]
+		t.orig[a], t.orig[b] = t.orig[b], t.orig[a]
+	}
+	return i
+}
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int { return t.LeafCount }
+
+// Depth returns the maximum node depth (root = 1).
+func (t *Tree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var rec func(n int32) int
+	rec = func(n int32) int {
+		nd := &t.nodes[n]
+		if nd.left < 0 {
+			return 1
+		}
+		l, r := rec(nd.left), rec(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return rec(0)
+}
+
+// ComputeForces walks the tree once per leaf, gathers that leaf's shared
+// interaction list into contiguous scratch, and invokes the kernel; leaves
+// are processed by `threads` goroutines. Accelerations accumulate into
+// AX/AY/AZ (zeroed first).
+func (t *Tree) ComputeForces(kern LeafKernel, rcut float64, threads int) {
+	for i := range t.AX {
+		t.AX[i], t.AY[i], t.AZ[i] = 0, 0, 0
+	}
+	if len(t.nodes) == 0 {
+		return
+	}
+	// Collect leaf node indices.
+	leaves := make([]int32, 0, t.LeafCount)
+	for i := range t.nodes {
+		if t.nodes[i].left < 0 {
+			leaves = append(leaves, int32(i))
+		}
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	rc := float32(rcut)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var nbrX, nbrY, nbrZ []float32
+			var stack []int32
+			var inter, visited, nbrSum int64
+			for {
+				li := next.Add(1) - 1
+				if li >= int64(len(leaves)) {
+					break
+				}
+				leaf := &t.nodes[leaves[li]]
+				// Expanded search box.
+				var lo, hi [3]float32
+				for d := 0; d < 3; d++ {
+					lo[d] = leaf.lo[d] - rc
+					hi[d] = leaf.hi[d] + rc
+				}
+				nbrX = nbrX[:0]
+				nbrY = nbrY[:0]
+				nbrZ = nbrZ[:0]
+				stack = append(stack[:0], 0)
+				for len(stack) > 0 {
+					ni := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					nd := &t.nodes[ni]
+					visited++
+					if nd.lo[0] > hi[0] || nd.hi[0] < lo[0] ||
+						nd.lo[1] > hi[1] || nd.hi[1] < lo[1] ||
+						nd.lo[2] > hi[2] || nd.hi[2] < lo[2] {
+						continue
+					}
+					if nd.left < 0 {
+						nbrX = append(nbrX, t.X[nd.start:nd.end]...)
+						nbrY = append(nbrY, t.Y[nd.start:nd.end]...)
+						nbrZ = append(nbrZ, t.Z[nd.start:nd.end]...)
+						continue
+					}
+					stack = append(stack, nd.left, nd.right)
+				}
+				nbrSum += int64(len(nbrX))
+				s, e := leaf.start, leaf.end
+				inter += kern(t.X[s:e], t.Y[s:e], t.Z[s:e],
+					nbrX, nbrY, nbrZ,
+					t.AX[s:e], t.AY[s:e], t.AZ[s:e])
+			}
+			t.Interactions.Add(inter)
+			t.NodesVisited.Add(visited)
+			t.NeighborCount.Add(nbrSum)
+		}()
+	}
+	wg.Wait()
+}
+
+// AccelInto scatters the computed accelerations back to the caller's
+// original particle order (adding into the provided arrays).
+func (t *Tree) AccelInto(ax, ay, az []float32) {
+	for i, o := range t.orig {
+		ax[o] += t.AX[i]
+		ay[o] += t.AY[i]
+		az[o] += t.AZ[i]
+	}
+}
+
+func min32(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
