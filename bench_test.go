@@ -1,8 +1,7 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation,
-// scaled to a single machine (see DESIGN.md's per-experiment index and
-// EXPERIMENTS.md for recorded paper-vs-measured results). Each benchmark
-// prints its table on the first iteration; ns/op measures the headline
-// operation of the experiment.
+// scaled to a single machine (see DESIGN.md's per-experiment index). Each
+// benchmark prints its table on the first iteration; ns/op measures the
+// headline operation of the experiment.
 package hacc_test
 
 import (
@@ -294,6 +293,24 @@ func BenchmarkAblation_MultiTree(b *testing.B) {
 					Steps: 1, SubCycles: 3, Threads: 8, LeafSize: 64,
 				}, func(c *core.Config) { c.NTrees = nTrees })
 				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Threads sweeps intra-rank threading of the full code on
+// the Table II configuration (4 ranks, 26³, 3 sub-cycles): the fully-
+// threaded pipeline (§VI) should show wall-clock gains beyond one thread.
+func BenchmarkAblation_Threads(b *testing.B) {
+	for _, threads := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("threads%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunFull(bench.FullOptions{
+					Ranks: 4, NpPerDim: 26, Solver: core.PPTreePM,
+					Steps: 1, SubCycles: 3, Threads: threads,
+				}); err != nil {
 					b.Fatal(err)
 				}
 			}

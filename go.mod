@@ -1,0 +1,3 @@
+module hacc
+
+go 1.24

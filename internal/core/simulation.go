@@ -12,6 +12,7 @@ import (
 	"hacc/internal/ic"
 	"hacc/internal/machine"
 	"hacc/internal/mpi"
+	"hacc/internal/par"
 	"hacc/internal/shortrange"
 	"hacc/internal/spectral"
 	"hacc/internal/timestep"
@@ -50,6 +51,26 @@ type Simulation struct {
 	// SubstepsDone counts executed short-range sub-cycles (for
 	// time-per-substep reporting, matching the paper's metric).
 	SubstepsDone int64
+
+	// scratch, kickBuf, and pool persist across sub-cycles and steps so
+	// the hot stepping path allocates nothing after the first sub-cycle
+	// (§VI; the HACC architecture paper's persistent per-rank solver
+	// state). pool is this rank's fixed set of worker goroutines.
+	scratch shortScratch
+	kickBuf []float32
+	pool    *par.Pool
+}
+
+// shortScratch holds the buffers and solver structures kickShort reuses
+// across sub-cycles: the gathered active+passive coordinate slices, the
+// acceleration accumulators, and one lazily-created persistent instance of
+// whichever short-range backend the config selects.
+type shortScratch struct {
+	x, y, z    []float32
+	ax, ay, az []float32
+	tr         *tree.Tree
+	fr         *tree.Forest
+	cm         *shortrange.ChainingMesh
 }
 
 // New builds the simulation and generates initial conditions. Collective.
@@ -60,6 +81,7 @@ func New(c *mpi.Comm, cfg Config) (*Simulation, error) {
 	}
 	n := [3]int{cfg.NGrid, cfg.NGrid, cfg.NGrid}
 	s := &Simulation{Cfg: cfg, Comm: c, Timers: machine.NewTimers()}
+	s.pool = par.NewPool(cfg.Threads)
 	s.Dec = grid.NewDecomp(n, c.Size())
 	s.Dom = domain.New(c, s.Dec, cfg.Overload)
 	s.LP = cosmology.NewLinearPower(cfg.Cosmo, cfg.TransferFunc())
@@ -220,20 +242,28 @@ func (s *Simulation) kickLong(w float64) {
 	})
 }
 
-// applyGridKick interpolates the PM acceleration and updates momenta.
+// applyGridKick interpolates the PM acceleration and updates momenta. Both
+// the CIC gather and the momentum update are threaded (per-particle
+// independent, so the result is identical to the serial path), and the
+// interpolation buffer is persistent.
 func (s *Simulation) applyGridKick(p *domain.Particles, w float64) {
 	n := p.Len()
 	if n == 0 {
 		return
 	}
-	buf := make([]float32, n)
+	if cap(s.kickBuf) < n {
+		s.kickBuf = make([]float32, n)
+	}
+	buf := s.kickBuf[:n]
 	vel := [3][]float32{p.Vx, p.Vy, p.Vz}
 	for d := 0; d < 3; d++ {
-		grid.InterpCIC(s.acc[d], p.X, p.Y, p.Z, buf, w)
+		grid.InterpCICParallel(s.acc[d], p.X, p.Y, p.Z, buf, w, s.pool)
 		v := vel[d]
-		for i := 0; i < n; i++ {
-			v[i] += buf[i]
-		}
+		s.pool.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v[i] += buf[i]
+			}
+		})
 	}
 }
 
@@ -249,38 +279,52 @@ func (s *Simulation) kickShort(w float64) {
 	if tot == 0 {
 		return
 	}
-	x := make([]float32, 0, tot)
-	y := make([]float32, 0, tot)
-	z := make([]float32, 0, tot)
-	x = append(append(x, s.Dom.Active.X...), s.Dom.Passive.X...)
-	y = append(append(y, s.Dom.Active.Y...), s.Dom.Passive.Y...)
-	z = append(append(z, s.Dom.Active.Z...), s.Dom.Passive.Z...)
-	ax := make([]float32, tot)
-	ay := make([]float32, tot)
-	az := make([]float32, tot)
+	// Gather into the persistent scratch (grown once, reused forever).
+	sc := &s.scratch
+	sc.x = append(append(sc.x[:0], s.Dom.Active.X...), s.Dom.Passive.X...)
+	sc.y = append(append(sc.y[:0], s.Dom.Active.Y...), s.Dom.Passive.Y...)
+	sc.z = append(append(sc.z[:0], s.Dom.Active.Z...), s.Dom.Passive.Z...)
+	sc.ax = par.Resize(sc.ax, tot)
+	sc.ay = par.Resize(sc.ay, tot)
+	sc.az = par.Resize(sc.az, tot)
+	x, y, z, ax, ay, az := sc.x, sc.y, sc.z, sc.ax, sc.ay, sc.az
+	s.pool.For(tot, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ax[i], ay[i], az[i] = 0, 0, 0
+		}
+	})
 
 	switch s.Cfg.Solver {
 	case PPTreePM:
 		if s.Cfg.NTrees > 1 {
-			var fr *tree.Forest
-			s.Timers.Time("build", func() {
-				fr = tree.BuildForest(x, y, z, s.Cfg.LeafSize, s.Cfg.NTrees, s.Cfg.RCut)
-			})
+			if sc.fr == nil {
+				sc.fr = tree.NewForest(s.Cfg.LeafSize, s.Cfg.NTrees, s.Cfg.RCut)
+			}
 			t0 := time.Now()
-			fr.ComputeForces(s.Kernel.Apply, s.Cfg.RCut, s.Cfg.Threads)
+			sc.fr.Rebuild(x, y, z)
+			s.Timers.Add("build", time.Since(t0))
+			t0 = time.Now()
+			// Forest threading splits goroutines across sub-trees itself;
+			// it does not use the flat worker pool.
+			sc.fr.ComputeForces(s.Kernel.Apply, s.Cfg.RCut, s.Cfg.Threads)
 			walkAndKernel := time.Since(t0)
-			inter := fr.Interactions()
+			inter := sc.fr.Interactions()
 			s.Counters.KernelInteractions += inter
-			kshare := kernelShare(walkAndKernel, inter, fr.NeighborCount())
+			kshare := kernelShare(walkAndKernel, inter, sc.fr.NeighborCount())
 			s.Timers.Add("kernel", kshare)
 			s.Timers.Add("walk", walkAndKernel-kshare)
-			fr.AccelInto(ax, ay, az)
+			sc.fr.AccelInto(ax, ay, az)
 			break
 		}
-		var tr *tree.Tree
-		s.Timers.Time("build", func() { tr = tree.Build(x, y, z, s.Cfg.LeafSize) })
+		if sc.tr == nil {
+			sc.tr = tree.New(s.Cfg.LeafSize)
+		}
+		tr := sc.tr
 		t0 := time.Now()
-		tr.ComputeForces(s.Kernel.Apply, s.Cfg.RCut, s.Cfg.Threads)
+		tr.Rebuild(x, y, z)
+		s.Timers.Add("build", time.Since(t0))
+		t0 = time.Now()
+		tr.ComputeForcesPool(s.Kernel.Apply, s.Cfg.RCut, s.pool)
 		walkAndKernel := time.Since(t0)
 		inter := tr.Interactions.Load()
 		s.Counters.KernelInteractions += inter
@@ -294,26 +338,55 @@ func (s *Simulation) kickShort(w float64) {
 		s.Timers.Add("walk", walkAndKernel-kshare)
 		tr.AccelInto(ax, ay, az)
 	case P3M:
-		var cm *shortrange.ChainingMesh
-		s.Timers.Time("build", func() { cm = shortrange.BuildMesh(x, y, z, s.Cfg.RCut) })
+		if sc.cm == nil {
+			sc.cm = shortrange.NewMesh(s.Cfg.RCut)
+		}
+		cm := sc.cm
 		t0 := time.Now()
-		cm.ComputeForces(s.Kernel.Apply, s.Cfg.Threads)
+		cm.Rebuild(x, y, z)
+		s.Timers.Add("build", time.Since(t0))
+		t0 = time.Now()
+		cm.ComputeForcesPool(s.Kernel.Apply, s.pool)
 		s.Timers.Add("kernel", time.Since(t0))
 		s.Counters.KernelInteractions += cm.Interactions.Load()
 		cm.AccelInto(ax, ay, az)
 	}
 
+	// Threaded momentum update over both particle sets: shards of the
+	// combined (active-first) index range map directly onto the scratch
+	// acceleration layout.
 	wv := float32(w)
-	for i := 0; i < na; i++ {
-		s.Dom.Active.Vx[i] += wv * ax[i]
-		s.Dom.Active.Vy[i] += wv * ay[i]
-		s.Dom.Active.Vz[i] += wv * az[i]
+	act, pas := &s.Dom.Active, &s.Dom.Passive
+	s.pool.For(tot, func(lo, hi int) {
+		aEnd, pBegin := splitAtActive(na, lo, hi)
+		for i := lo; i < aEnd; i++ {
+			act.Vx[i] += wv * ax[i]
+			act.Vy[i] += wv * ay[i]
+			act.Vz[i] += wv * az[i]
+		}
+		for i := pBegin; i < hi; i++ {
+			j := i - na
+			pas.Vx[j] += wv * ax[i]
+			pas.Vy[j] += wv * ay[i]
+			pas.Vz[j] += wv * az[i]
+		}
+	})
+}
+
+// splitAtActive clamps a shard [lo,hi) of the combined active-first index
+// range against the active prefix [0,na): active indices are [lo,aEnd),
+// passive combined indices are [pBegin,hi) (subtract na for the passive-
+// local index). Shared by every loop over the combined particle layout.
+func splitAtActive(na, lo, hi int) (aEnd, pBegin int) {
+	aEnd = hi
+	if aEnd > na {
+		aEnd = na
 	}
-	for i := 0; i < npass; i++ {
-		s.Dom.Passive.Vx[i] += wv * ax[na+i]
-		s.Dom.Passive.Vy[i] += wv * ay[na+i]
-		s.Dom.Passive.Vz[i] += wv * az[na+i]
+	pBegin = lo
+	if pBegin < na {
+		pBegin = na
 	}
+	return
 }
 
 // kernelShare estimates the kernel's share of the combined walk+kernel
@@ -328,19 +401,29 @@ func kernelShare(total time.Duration, interactions, gathered int64) time.Duratio
 	return time.Duration(float64(total) * k / (k + g))
 }
 
-// stream advances positions x += w·p for actives and passives.
+// stream advances positions x += w·p for actives and passives, sharded
+// across the worker pool (per-particle independent, so identical to
+// serial).
 func (s *Simulation) stream(w float64) {
-	s.Timers.Time("stream", func() {
-		wv := float32(w)
-		for _, p := range []*domain.Particles{&s.Dom.Active, &s.Dom.Passive} {
-			n := p.Len()
-			for i := 0; i < n; i++ {
-				p.X[i] += wv * p.Vx[i]
-				p.Y[i] += wv * p.Vy[i]
-				p.Z[i] += wv * p.Vz[i]
-			}
+	t0 := time.Now()
+	wv := float32(w)
+	act, pas := &s.Dom.Active, &s.Dom.Passive
+	na := act.Len()
+	s.pool.For(na+pas.Len(), func(lo, hi int) {
+		aEnd, pBegin := splitAtActive(na, lo, hi)
+		for i := lo; i < aEnd; i++ {
+			act.X[i] += wv * act.Vx[i]
+			act.Y[i] += wv * act.Vy[i]
+			act.Z[i] += wv * act.Vz[i]
+		}
+		for i := pBegin; i < hi; i++ {
+			j := i - na
+			pas.X[j] += wv * pas.Vx[j]
+			pas.Y[j] += wv * pas.Vy[j]
+			pas.Z[j] += wv * pas.Vz[j]
 		}
 	})
+	s.Timers.Add("stream", time.Since(t0))
 }
 
 // PowerSpectrum measures P(k) of the current particle distribution.

@@ -43,8 +43,8 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 			rng.Float32(), rng.Float32(), rng.Float32(), uint64(i))
 	}
 	idx := []int{3, 7, 11}
-	f := p.packFloats(idx, [3]float32{1, 2, 3})
-	ids := p.packIDs(idx)
+	f := p.packFloatsInto(nil, idx, [3]float32{1, 2, 3})
+	ids := p.packIDsInto(nil, idx)
 	var q Particles
 	q.unpack(f, ids)
 	for j, i := range idx {

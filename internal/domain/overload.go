@@ -28,6 +28,17 @@ type Domain struct {
 	Migrated int64 // particles moved to a new owner (lifetime count)
 
 	catches []catch // where my actives must be replicated
+
+	// Per-destination communication scratch, reused across steps so the
+	// migrate/refresh path stops allocating once warm (mpi.Send copies
+	// outgoing payloads, so reusing these between collectives is safe).
+	owners []int
+	dest   [][]int
+	sendF  [][]float32
+	sendI  [][]uint64
+	idxBuf []int
+	selfF  []float32
+	selfI  []uint64
 }
 
 // catch says: actives inside box (a sub-box of mine, in my coordinates)
@@ -114,16 +125,36 @@ func wrapPos(x float32, n int) float32 {
 	return x
 }
 
+// commScratch returns the per-destination scratch slices, initialized on
+// first use and reset to empty (capacity retained) on every call.
+func (d *Domain) commScratch() (dest [][]int, sendF [][]float32, sendI [][]uint64) {
+	p := d.Comm.Size()
+	if d.dest == nil {
+		d.dest = make([][]int, p)
+		d.sendF = make([][]float32, p)
+		d.sendI = make([][]uint64, p)
+	}
+	for r := 0; r < p; r++ {
+		d.dest[r] = d.dest[r][:0]
+		d.sendF[r] = d.sendF[r][:0]
+		d.sendI[r] = d.sendI[r][:0]
+	}
+	return d.dest, d.sendF, d.sendI
+}
+
 // Migrate wraps active positions into the periodic box and transfers
 // particles that left this rank's sub-box to their new owners. Collective.
 func (d *Domain) Migrate() {
 	p := d.Comm.Size()
 	a := &d.Active
 	n := d.Dec.N
+	dest, sendF, sendI := d.commScratch()
 	// Pass 1: wrap and classify (no reordering yet — the send lists hold
 	// indices into the current layout).
-	owners := make([]int, a.Len())
-	dest := make([][]int, p)
+	if cap(d.owners) < a.Len() {
+		d.owners = make([]int, a.Len())
+	}
+	owners := d.owners[:a.Len()]
 	for i := 0; i < a.Len(); i++ {
 		a.X[i] = wrapPos(a.X[i], n[0])
 		a.Y[i] = wrapPos(a.Y[i], n[1])
@@ -135,15 +166,13 @@ func (d *Domain) Migrate() {
 		}
 	}
 	// Pass 2: pack departures while indices are still valid.
-	sendF := make([][]float32, p)
-	sendI := make([][]uint64, p)
 	var moved int64
 	for r := 0; r < p; r++ {
 		if len(dest[r]) == 0 {
 			continue
 		}
-		sendF[r] = a.packFloats(dest[r], [3]float32{})
-		sendI[r] = a.packIDs(dest[r])
+		sendF[r] = a.packFloatsInto(sendF[r], dest[r], [3]float32{})
+		sendI[r] = a.packIDsInto(sendI[r], dest[r])
 		moved += int64(len(dest[r]))
 	}
 	// Pass 3: compact the stayers.
@@ -173,12 +202,11 @@ func (d *Domain) Migrate() {
 func (d *Domain) Refresh() {
 	p := d.Comm.Size()
 	d.Passive.Reset()
-	sendF := make([][]float32, p)
-	sendI := make([][]uint64, p)
-	selfF := []float32(nil)
-	selfI := []uint64(nil)
+	_, sendF, sendI := d.commScratch()
+	selfF := d.selfF[:0]
+	selfI := d.selfI[:0]
 	a := &d.Active
-	var idx []int
+	idx := d.idxBuf
 	for _, c := range d.catches {
 		idx = idx[:0]
 		for i := 0; i < a.Len(); i++ {
@@ -189,16 +217,16 @@ func (d *Domain) Refresh() {
 		if len(idx) == 0 {
 			continue
 		}
-		f := a.packFloats(idx, c.shift)
-		ids := a.packIDs(idx)
 		if c.rank == d.Comm.Rank() {
-			selfF = append(selfF, f...)
-			selfI = append(selfI, ids...)
+			selfF = a.packFloatsInto(selfF, idx, c.shift)
+			selfI = a.packIDsInto(selfI, idx)
 			continue
 		}
-		sendF[c.rank] = append(sendF[c.rank], f...)
-		sendI[c.rank] = append(sendI[c.rank], ids...)
+		sendF[c.rank] = a.packFloatsInto(sendF[c.rank], idx, c.shift)
+		sendI[c.rank] = a.packIDsInto(sendI[c.rank], idx)
 	}
+	d.idxBuf = idx
+	d.selfF, d.selfI = selfF, selfI
 	recvF := mpi.AllToAll(d.Comm, sendF)
 	recvI := mpi.AllToAll(d.Comm, sendI)
 	for r := 0; r < p; r++ {

@@ -91,23 +91,24 @@ func (p *Particles) Grow(n int) {
 	p.ID = ids
 }
 
-// packFloats serializes particles [lo,hi) positions+velocities into a flat
-// float32 buffer of stride 6 (used by migration and refresh messages).
-func (p *Particles) packFloats(idx []int, shift [3]float32) []float32 {
-	buf := make([]float32, 0, 6*len(idx))
+// packFloatsInto appends the selected particles' positions+velocities onto
+// dst as a flat float32 buffer of stride 6 (used by migration and refresh
+// messages) and returns the extended slice; callers reuse dst's capacity
+// across steps.
+func (p *Particles) packFloatsInto(dst []float32, idx []int, shift [3]float32) []float32 {
 	for _, i := range idx {
-		buf = append(buf, p.X[i]+shift[0], p.Y[i]+shift[1], p.Z[i]+shift[2],
+		dst = append(dst, p.X[i]+shift[0], p.Y[i]+shift[1], p.Z[i]+shift[2],
 			p.Vx[i], p.Vy[i], p.Vz[i])
 	}
-	return buf
+	return dst
 }
 
-func (p *Particles) packIDs(idx []int) []uint64 {
-	buf := make([]uint64, 0, len(idx))
+// packIDsInto appends the selected particles' IDs onto dst.
+func (p *Particles) packIDsInto(dst []uint64, idx []int) []uint64 {
 	for _, i := range idx {
-		buf = append(buf, p.ID[i])
+		dst = append(dst, p.ID[i])
 	}
-	return buf
+	return dst
 }
 
 // unpack appends particles from paired float/id buffers.

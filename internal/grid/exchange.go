@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hacc/internal/mpi"
+	"hacc/internal/par"
 )
 
 const tagGhostPlan = 11
@@ -28,6 +29,10 @@ type Exchanger struct {
 	// Self-wrap pairs (periodic images landing on the same rank).
 	selfGhost []int
 	selfOwned []int
+
+	// Per-destination send buffers, reused across Accumulate/Fill calls
+	// (mpi.Send copies outgoing payloads, so reuse is safe).
+	send [][]float64
 }
 
 // NewExchanger builds an exchange plan. Collective over comm; the field f
@@ -88,12 +93,12 @@ func NewExchanger(c *mpi.Comm, d *Decomp, f *Field) *Exchanger {
 // remote ranks alike), then zeroes the ghost halo. Collective.
 func (e *Exchanger) Accumulate(f *Field) {
 	p := e.comm.Size()
-	send := make([][]float64, p)
+	send := e.sendScratch()
 	for r := 0; r < p; r++ {
 		if len(e.ghostSlots[r]) == 0 {
 			continue
 		}
-		buf := make([]float64, len(e.ghostSlots[r]))
+		buf := par.Resize(send[r], len(e.ghostSlots[r]))
 		for i, s := range e.ghostSlots[r] {
 			buf[i] = f.Data[s]
 		}
@@ -115,12 +120,12 @@ func (e *Exchanger) Accumulate(f *Field) {
 // periodic value of its canonical cell. Collective.
 func (e *Exchanger) Fill(f *Field) {
 	p := e.comm.Size()
-	send := make([][]float64, p)
+	send := e.sendScratch()
 	for r := 0; r < p; r++ {
 		if len(e.ownedIdx[r]) == 0 {
 			continue
 		}
-		buf := make([]float64, len(e.ownedIdx[r]))
+		buf := par.Resize(send[r], len(e.ownedIdx[r]))
 		for i, idx := range e.ownedIdx[r] {
 			buf[i] = f.Data[idx]
 		}
@@ -135,6 +140,18 @@ func (e *Exchanger) Fill(f *Field) {
 	for i, s := range e.selfGhost {
 		f.Data[s] = f.Data[e.selfOwned[i]]
 	}
+}
+
+// sendScratch returns the reusable per-destination send buffers, emptied
+// (capacity retained).
+func (e *Exchanger) sendScratch() [][]float64 {
+	if e.send == nil {
+		e.send = make([][]float64, e.comm.Size())
+	}
+	for r := range e.send {
+		e.send[r] = e.send[r][:0]
+	}
+	return e.send
 }
 
 func wrap(x, n int) int { return ((x % n) + n) % n }

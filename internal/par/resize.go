@@ -1,0 +1,11 @@
+package par
+
+// Resize returns s with length n, reusing capacity when possible; grown
+// regions are not cleared (callers overwrite). The shared grow policy for
+// every persistent scratch buffer in the codebase.
+func Resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"hacc/internal/par"
 )
 
 // ChainingMesh is the direct particle-particle short-range backend (the
@@ -20,19 +22,50 @@ type ChainingMesh struct {
 	inv        float32 // 1/cellSize
 	starts     []int32 // CSR cell offsets, len = ncells+1
 
-	// Interactions counts pair evaluations (bench harness).
+	cellSize float64
+	// Binning scratch, reused across rebuilds (zero-allocation sub-cycling).
+	cellOf []int32
+	cursor []int32
+	// Per-worker gather scratch and the shared cell cursor, persistent
+	// across force evaluations.
+	walk []gatherScratch
+	next atomic.Int64
+
+	// Interactions counts pair evaluations (bench harness). Reset by
+	// Rebuild: it counts work since the last (re)build.
 	Interactions atomic.Int64
 }
 
+// NewMesh returns an empty chaining mesh with the given cell size (use the
+// kernel's RCut or slightly larger); call Rebuild to populate it.
+func NewMesh(cellSize float64) *ChainingMesh {
+	return &ChainingMesh{cellSize: cellSize, inv: float32(1 / cellSize)}
+}
+
 // BuildMesh bins the particles into a chaining mesh with the given cell
-// size (use the kernel's RCut or slightly larger).
+// size.
 func BuildMesh(x, y, z []float32, cellSize float64) *ChainingMesh {
+	m := NewMesh(cellSize)
+	m.Rebuild(x, y, z)
+	return m
+}
+
+// Rebuild re-bins new particle coordinates in place, reusing the sorted
+// working copy, the CSR offsets, and the binning scratch. Statistics
+// counters restart from zero.
+func (m *ChainingMesh) Rebuild(x, y, z []float32) {
 	n := len(x)
-	m := &ChainingMesh{inv: float32(1 / cellSize)}
+	cellSize := m.cellSize
+	m.Interactions.Store(0)
 	if n == 0 {
-		m.starts = []int32{0}
+		// One empty cell; starts needs ncell+1 entries so ComputeForces
+		// can scan it without a special case.
+		m.starts = append(m.starts[:0], 0, 0)
 		m.dims = [3]int{1, 1, 1}
-		return m
+		m.X, m.Y, m.Z = m.X[:0], m.Y[:0], m.Z[:0]
+		m.AX, m.AY, m.AZ = m.AX[:0], m.AY[:0], m.AZ[:0]
+		m.orig = m.orig[:0]
+		return
 	}
 	var hi [3]float32
 	m.lo = [3]float32{x[0], y[0], z[0]}
@@ -53,8 +86,11 @@ func BuildMesh(x, y, z []float32, cellSize float64) *ChainingMesh {
 		}
 	}
 	ncell := m.dims[0] * m.dims[1] * m.dims[2]
-	counts := make([]int32, ncell+1)
-	cellOf := make([]int32, n)
+	counts := par.Resize(m.starts, ncell+1)
+	for c := range counts {
+		counts[c] = 0
+	}
+	cellOf := par.Resize(m.cellOf, n)
 	for i := 0; i < n; i++ {
 		c := m.cellIndex(x[i], y[i], z[i])
 		cellOf[i] = c
@@ -64,14 +100,16 @@ func BuildMesh(x, y, z []float32, cellSize float64) *ChainingMesh {
 		counts[c+1] += counts[c]
 	}
 	m.starts = counts
-	m.X = make([]float32, n)
-	m.Y = make([]float32, n)
-	m.Z = make([]float32, n)
-	m.AX = make([]float32, n)
-	m.AY = make([]float32, n)
-	m.AZ = make([]float32, n)
-	m.orig = make([]int32, n)
-	cursor := make([]int32, ncell)
+	m.cellOf = cellOf
+	m.X = par.Resize(m.X, n)
+	m.Y = par.Resize(m.Y, n)
+	m.Z = par.Resize(m.Z, n)
+	m.AX = par.Resize(m.AX, n)
+	m.AY = par.Resize(m.AY, n)
+	m.AZ = par.Resize(m.AZ, n)
+	m.orig = par.Resize(m.orig, n)
+	cursor := par.Resize(m.cursor, ncell)
+	m.cursor = cursor
 	copy(cursor, counts[:ncell])
 	for i := 0; i < n; i++ {
 		c := cellOf[i]
@@ -80,7 +118,6 @@ func BuildMesh(x, y, z []float32, cellSize float64) *ChainingMesh {
 		m.X[p], m.Y[p], m.Z[p] = x[i], y[i], z[i]
 		m.orig[p] = int32(i)
 	}
-	return m
 }
 
 func (m *ChainingMesh) cellIndex(x, y, z float32) int32 {
@@ -100,70 +137,107 @@ func clampCell(c, n int) int {
 	return c
 }
 
-// ComputeForces evaluates the short-range force cell by cell with `threads`
-// goroutines; each cell's particles share the 27-cell interaction list.
-func (m *ChainingMesh) ComputeForces(kern func(lx, ly, lz, nx, ny, nz, ax, ay, az []float32) int64, threads int) {
+// gatherScratch is one worker's 27-cell neighbor-list buffers, persistent
+// across force evaluations.
+type gatherScratch struct {
+	nbrX, nbrY, nbrZ []float32
+}
+
+func (m *ChainingMesh) ensureWalk(k int) {
+	for len(m.walk) < k {
+		m.walk = append(m.walk, gatherScratch{})
+	}
+}
+
+func (m *ChainingMesh) prepForces() {
 	for i := range m.AX {
 		m.AX[i], m.AY[i], m.AZ[i] = 0, 0, 0
 	}
+	m.next.Store(0)
+}
+
+// cellLoop pulls cells from the shared cursor until none remain, using
+// worker w's persistent scratch.
+func (m *ChainingMesh) cellLoop(w int, kern func(lx, ly, lz, nx, ny, nz, ax, ay, az []float32) int64) {
+	ws := &m.walk[w]
+	nbrX, nbrY, nbrZ := ws.nbrX, ws.nbrY, ws.nbrZ
 	ncell := m.dims[0] * m.dims[1] * m.dims[2]
+	var inter int64
+	for {
+		c := int(m.next.Add(1) - 1)
+		if c >= ncell {
+			break
+		}
+		s, e := m.starts[c], m.starts[c+1]
+		if s == e {
+			continue
+		}
+		cz := c % m.dims[2]
+		cy := (c / m.dims[2]) % m.dims[1]
+		cx := c / (m.dims[1] * m.dims[2])
+		nbrX = nbrX[:0]
+		nbrY = nbrY[:0]
+		nbrZ = nbrZ[:0]
+		for dx := -1; dx <= 1; dx++ {
+			x := cx + dx
+			if x < 0 || x >= m.dims[0] {
+				continue
+			}
+			for dy := -1; dy <= 1; dy++ {
+				y := cy + dy
+				if y < 0 || y >= m.dims[1] {
+					continue
+				}
+				for dz := -1; dz <= 1; dz++ {
+					z := cz + dz
+					if z < 0 || z >= m.dims[2] {
+						continue
+					}
+					nc := (x*m.dims[1]+y)*m.dims[2] + z
+					ns, ne := m.starts[nc], m.starts[nc+1]
+					nbrX = append(nbrX, m.X[ns:ne]...)
+					nbrY = append(nbrY, m.Y[ns:ne]...)
+					nbrZ = append(nbrZ, m.Z[ns:ne]...)
+				}
+			}
+		}
+		inter += kern(m.X[s:e], m.Y[s:e], m.Z[s:e],
+			nbrX, nbrY, nbrZ,
+			m.AX[s:e], m.AY[s:e], m.AZ[s:e])
+	}
+	ws.nbrX, ws.nbrY, ws.nbrZ = nbrX, nbrY, nbrZ
+	m.Interactions.Add(inter)
+}
+
+// ComputeForces evaluates the short-range force cell by cell with `threads`
+// goroutines; each cell's particles share the 27-cell interaction list.
+func (m *ChainingMesh) ComputeForces(kern func(lx, ly, lz, nx, ny, nz, ax, ay, az []float32) int64, threads int) {
+	m.prepForces()
 	if threads < 1 {
 		threads = 1
 	}
-	var next atomic.Int64
+	m.ensureWalk(threads)
+	if threads == 1 {
+		m.cellLoop(0, kern)
+		return
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			var nbrX, nbrY, nbrZ []float32
-			var inter int64
-			for {
-				c := int(next.Add(1) - 1)
-				if c >= ncell {
-					break
-				}
-				s, e := m.starts[c], m.starts[c+1]
-				if s == e {
-					continue
-				}
-				cz := c % m.dims[2]
-				cy := (c / m.dims[2]) % m.dims[1]
-				cx := c / (m.dims[1] * m.dims[2])
-				nbrX = nbrX[:0]
-				nbrY = nbrY[:0]
-				nbrZ = nbrZ[:0]
-				for dx := -1; dx <= 1; dx++ {
-					x := cx + dx
-					if x < 0 || x >= m.dims[0] {
-						continue
-					}
-					for dy := -1; dy <= 1; dy++ {
-						y := cy + dy
-						if y < 0 || y >= m.dims[1] {
-							continue
-						}
-						for dz := -1; dz <= 1; dz++ {
-							z := cz + dz
-							if z < 0 || z >= m.dims[2] {
-								continue
-							}
-							nc := (x*m.dims[1]+y)*m.dims[2] + z
-							ns, ne := m.starts[nc], m.starts[nc+1]
-							nbrX = append(nbrX, m.X[ns:ne]...)
-							nbrY = append(nbrY, m.Y[ns:ne]...)
-							nbrZ = append(nbrZ, m.Z[ns:ne]...)
-						}
-					}
-				}
-				inter += kern(m.X[s:e], m.Y[s:e], m.Z[s:e],
-					nbrX, nbrY, nbrZ,
-					m.AX[s:e], m.AY[s:e], m.AZ[s:e])
-			}
-			m.Interactions.Add(inter)
-		}()
+			m.cellLoop(w, kern)
+		}(w)
 	}
 	wg.Wait()
+}
+
+// ComputeForcesPool is ComputeForces dispatched on a persistent worker
+// pool: no goroutine spawns, no per-call scratch.
+func (m *ChainingMesh) ComputeForcesPool(kern func(lx, ly, lz, nx, ny, nz, ax, ay, az []float32) int64, pool *par.Pool) {
+	m.prepForces()
+	m.ensureWalk(pool.Workers())
+	pool.Run(0, func(w int) { m.cellLoop(w, kern) })
 }
 
 // AccelInto scatters accelerations back to the caller's particle order.

@@ -2,6 +2,8 @@ package tree
 
 import (
 	"sync"
+
+	"hacc/internal/par"
 )
 
 // Forest is the multi-tree configuration the paper lists as the next
@@ -18,25 +20,68 @@ type Forest struct {
 	// particles first; owned[t] is the count of owned entries.
 	gather [][]int32
 	owned  []int32
+
+	leafSize int
+	maxSub   int
+	rcut     float64
+	// Full-capacity backing arrays; Trees/gather/owned are views of these,
+	// resliced per rebuild (the effective slab count varies with the
+	// particle extent). Sub-trees and per-tree coordinate scratch persist.
+	trees      []*Tree
+	gatherBuf  [][]int32
+	ownedBuf   []int32
+	tx, ty, tz [][]float32
+}
+
+// NewForest returns an empty forest of up to nsub slab trees with the given
+// fat-leaf capacity and cutoff; call Rebuild to populate it.
+func NewForest(leafSize, nsub int, rcut float64) *Forest {
+	if nsub < 1 {
+		nsub = 1
+	}
+	f := &Forest{
+		leafSize:  leafSize,
+		maxSub:    nsub,
+		rcut:      rcut,
+		trees:     make([]*Tree, nsub),
+		gatherBuf: make([][]int32, nsub),
+		ownedBuf:  make([]int32, nsub),
+		tx:        make([][]float32, nsub),
+		ty:        make([][]float32, nsub),
+		tz:        make([][]float32, nsub),
+	}
+	for t := 0; t < nsub; t++ {
+		f.trees[t] = New(leafSize)
+	}
+	return f
 }
 
 // BuildForest partitions the particles into nsub slabs (along the longest
 // bounding-box axis) and builds the sub-trees concurrently.
 func BuildForest(x, y, z []float32, leafSize, nsub int, rcut float64) *Forest {
+	f := NewForest(leafSize, nsub, rcut)
+	f.Rebuild(x, y, z)
+	return f
+}
+
+// Rebuild repartitions the particles and reconstructs every sub-tree in
+// place, reusing the gather lists, coordinate scratch, and tree storage.
+func (f *Forest) Rebuild(x, y, z []float32) {
 	n := len(x)
-	if nsub < 1 {
-		nsub = 1
-	}
-	f := &Forest{
-		Trees:  make([]*Tree, nsub),
-		gather: make([][]int32, nsub),
-		owned:  make([]int32, nsub),
+	nsub := f.maxSub
+	rcut := f.rcut
+	f.Trees = f.trees[:nsub]
+	f.gather = f.gatherBuf[:nsub]
+	f.owned = f.ownedBuf[:nsub]
+	for t := 0; t < nsub; t++ {
+		f.gather[t] = f.gather[t][:0]
 	}
 	if n == 0 {
 		for t := 0; t < nsub; t++ {
-			f.Trees[t] = Build(nil, nil, nil, leafSize)
+			f.Trees[t].Rebuild(nil, nil, nil)
+			f.owned[t] = 0
 		}
-		return f
+		return
 	}
 	// Longest axis and its range.
 	var lo, hi [3]float32
@@ -61,8 +106,8 @@ func BuildForest(x, y, z []float32, leafSize, nsub int, rcut float64) *Forest {
 	// Slabs narrower than the cutoff would need halo copies from beyond
 	// their immediate neighbors; cap the tree count instead.
 	if rcut > 0 {
-		if maxSub := int(span / rcut); nsub > maxSub {
-			nsub = maxSub
+		if lim := int(span / rcut); nsub > lim {
+			nsub = lim
 		}
 		if nsub < 1 {
 			nsub = 1
@@ -108,17 +153,17 @@ func BuildForest(x, y, z []float32, leafSize, nsub int, rcut float64) *Forest {
 		go func(t int) {
 			defer wg.Done()
 			idx := f.gather[t]
-			tx := make([]float32, len(idx))
-			ty := make([]float32, len(idx))
-			tz := make([]float32, len(idx))
+			tx := par.Resize(f.tx[t], len(idx))
+			ty := par.Resize(f.ty[t], len(idx))
+			tz := par.Resize(f.tz[t], len(idx))
 			for j, g := range idx {
 				tx[j], ty[j], tz[j] = x[g], y[g], z[g]
 			}
-			f.Trees[t] = Build(tx, ty, tz, leafSize)
+			f.tx[t], f.ty[t], f.tz[t] = tx, ty, tz
+			f.Trees[t].Rebuild(tx, ty, tz)
 		}(t)
 	}
 	wg.Wait()
-	return f
 }
 
 // ComputeForces evaluates every sub-tree; threads are split across trees

@@ -1,0 +1,122 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"hacc/internal/par"
+)
+
+// treeForces computes forces and scatters them to caller order.
+func treeForces(tr *Tree, n, threads int) (ax, ay, az []float32) {
+	tr.ComputeForces(testKernel(9), 3, threads)
+	ax = make([]float32, n)
+	ay = make([]float32, n)
+	az = make([]float32, n)
+	tr.AccelInto(ax, ay, az)
+	return
+}
+
+// TestRebuildMatchesBuild reuses one Tree across particle sets of varying
+// size and checks the result is bitwise identical to a fresh Build each
+// time — the persistent solver state must be indistinguishable from the
+// seed's rebuild-from-scratch behavior.
+func TestRebuildMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	persistent := New(24)
+	for _, n := range []int{400, 1000, 120, 0, 700} {
+		x, y, z := randomParticles(n, 10, rng)
+		persistent.Rebuild(x, y, z)
+		fresh := Build(x, y, z, 24)
+		if persistent.Leaves() != fresh.Leaves() || len(persistent.nodes) != len(fresh.nodes) {
+			t.Fatalf("n=%d: structure differs: %d/%d leaves, %d/%d nodes",
+				n, persistent.Leaves(), fresh.Leaves(), len(persistent.nodes), len(fresh.nodes))
+		}
+		for i := range fresh.orig {
+			if persistent.orig[i] != fresh.orig[i] ||
+				persistent.X[i] != fresh.X[i] || persistent.Y[i] != fresh.Y[i] || persistent.Z[i] != fresh.Z[i] {
+				t.Fatalf("n=%d: slot %d differs after rebuild", n, i)
+			}
+		}
+		pax, pay, paz := treeForces(persistent, n, 3)
+		fax, fay, faz := treeForces(fresh, n, 3)
+		for i := 0; i < n; i++ {
+			if pax[i] != fax[i] || pay[i] != fay[i] || paz[i] != faz[i] {
+				t.Fatalf("n=%d: force %d differs: (%g,%g,%g) vs (%g,%g,%g)",
+					n, i, pax[i], pay[i], paz[i], fax[i], fay[i], faz[i])
+			}
+		}
+		if persistent.Interactions.Load() != fresh.Interactions.Load() {
+			t.Fatalf("n=%d: interaction counts differ: %d vs %d",
+				n, persistent.Interactions.Load(), fresh.Interactions.Load())
+		}
+	}
+}
+
+// TestRebuildResetsStats checks the per-build statistics contract.
+func TestRebuildResetsStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	x, y, z := randomParticles(300, 8, rng)
+	tr := Build(x, y, z, 16)
+	tr.ComputeForces(testKernel(9), 3, 2)
+	if tr.Interactions.Load() == 0 {
+		t.Fatal("no interactions counted")
+	}
+	tr.Rebuild(x, y, z)
+	if tr.Interactions.Load() != 0 || tr.NodesVisited.Load() != 0 || tr.NeighborCount.Load() != 0 {
+		t.Fatal("Rebuild did not reset statistics")
+	}
+}
+
+// TestComputeForcesPoolMatches checks the pooled dispatch against the
+// spawning path (bitwise: leaves own disjoint output ranges).
+func TestComputeForcesPoolMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	x, y, z := randomParticles(600, 12, rng)
+	pool := par.NewPool(4)
+	a := Build(x, y, z, 24)
+	a.ComputeForcesPool(testKernel(9), 3, pool)
+	b := Build(x, y, z, 24)
+	b.ComputeForces(testKernel(9), 3, 1)
+	for i := range a.AX {
+		if a.AX[i] != b.AX[i] || a.AY[i] != b.AY[i] || a.AZ[i] != b.AZ[i] {
+			t.Fatalf("pooled force %d differs", i)
+		}
+	}
+	if a.Interactions.Load() != b.Interactions.Load() {
+		t.Fatalf("interaction counts differ: %d vs %d", a.Interactions.Load(), b.Interactions.Load())
+	}
+}
+
+// TestForestRebuildMatchesBuild reuses one Forest across particle sets and
+// compares against fresh BuildForest results.
+func TestForestRebuildMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	persistent := NewForest(16, 4, 2)
+	for _, n := range []int{800, 250, 0, 1200} {
+		x, y, z := randomParticles(n, 20, rng)
+		persistent.Rebuild(x, y, z)
+		fresh := BuildForest(x, y, z, 16, 4, 2)
+		if len(persistent.Trees) != len(fresh.Trees) {
+			t.Fatalf("n=%d: tree counts differ: %d vs %d", n, len(persistent.Trees), len(fresh.Trees))
+		}
+		persistent.ComputeForces(testKernel(4), 2, 3)
+		fresh.ComputeForces(testKernel(4), 2, 3)
+		pax := make([]float32, n)
+		pay := make([]float32, n)
+		paz := make([]float32, n)
+		fax := make([]float32, n)
+		fay := make([]float32, n)
+		faz := make([]float32, n)
+		persistent.AccelInto(pax, pay, paz)
+		fresh.AccelInto(fax, fay, faz)
+		for i := 0; i < n; i++ {
+			if pax[i] != fax[i] || pay[i] != fay[i] || paz[i] != faz[i] {
+				t.Fatalf("n=%d: forest force %d differs", n, i)
+			}
+		}
+		if persistent.Interactions() != fresh.Interactions() {
+			t.Fatalf("n=%d: interactions differ: %d vs %d", n, persistent.Interactions(), fresh.Interactions())
+		}
+	}
+}

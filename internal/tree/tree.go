@@ -17,6 +17,8 @@ package tree
 import (
 	"sync"
 	"sync/atomic"
+
+	"hacc/internal/par"
 )
 
 // LeafKernel evaluates the short-range force of every neighbor (nx,ny,nz)
@@ -31,49 +33,74 @@ type node struct {
 	left, right int32
 }
 
-// Tree is a built RCB tree over a working copy of the particles.
+// Tree is a built RCB tree over a working copy of the particles. A Tree may
+// be rebuilt in place over new coordinates with Rebuild, which retains every
+// backing array (coordinates, accelerations, orig map, node pool, cached
+// leaf list, swap buffer) so that sub-cycling allocates nothing after the
+// first build — the persistent-solver-state design of the HACC architecture
+// (Habib et al., arXiv:1410.2805).
 type Tree struct {
 	LeafSize   int
 	X, Y, Z    []float32 // particle coordinates, leaf-contiguous after build
 	AX, AY, AZ []float32
 	orig       []int32 // original index of each working slot
 	nodes      []node
+	leaves     []int32 // leaf node indices, cached at build time
 	swapBuf    []int32 // recorded swaps for the three-phase partition
 
+	// Per-worker walk scratch and the shared leaf cursor, persistent
+	// across force evaluations (untouched by Rebuild).
+	walk []walkScratch
+	next atomic.Int64
+
 	// Stats for the bench harness (Fig. 5 / §III time-split claims).
+	// Reset by Rebuild: they count work since the last (re)build.
 	Interactions  atomic.Int64
 	NodesVisited  atomic.Int64
 	NeighborCount atomic.Int64 // summed neighbor-list lengths over leaves
 	LeafCount     int
 }
 
-// Build copies the coordinates and constructs the tree. leafSize is the
-// fat-leaf capacity (paper: up to hundreds before the walk/kernel crossover).
-func Build(x, y, z []float32, leafSize int) *Tree {
-	n := len(x)
+// New returns an empty tree with the given fat-leaf capacity; call Rebuild
+// to populate it.
+func New(leafSize int) *Tree {
 	if leafSize < 1 {
 		leafSize = 1
 	}
-	t := &Tree{LeafSize: leafSize}
-	t.X = append(make([]float32, 0, n), x...)
-	t.Y = append(make([]float32, 0, n), y...)
-	t.Z = append(make([]float32, 0, n), z...)
-	t.AX = make([]float32, n)
-	t.AY = make([]float32, n)
-	t.AZ = make([]float32, n)
-	t.orig = make([]int32, n)
+	return &Tree{LeafSize: leafSize}
+}
+
+// Build copies the coordinates and constructs the tree. leafSize is the
+// fat-leaf capacity (paper: up to hundreds before the walk/kernel crossover).
+func Build(x, y, z []float32, leafSize int) *Tree {
+	t := New(leafSize)
+	t.Rebuild(x, y, z)
+	return t
+}
+
+// Rebuild reconstructs the tree over new coordinates, reusing all retained
+// storage. Statistics counters restart from zero.
+func (t *Tree) Rebuild(x, y, z []float32) {
+	n := len(x)
+	t.X = append(t.X[:0], x...)
+	t.Y = append(t.Y[:0], y...)
+	t.Z = append(t.Z[:0], z...)
+	t.AX = par.Resize(t.AX, n)
+	t.AY = par.Resize(t.AY, n)
+	t.AZ = par.Resize(t.AZ, n)
+	t.orig = par.Resize(t.orig, n)
 	for i := range t.orig {
 		t.orig[i] = int32(i)
 	}
+	t.nodes = t.nodes[:0]
+	t.leaves = t.leaves[:0]
+	t.Interactions.Store(0)
+	t.NodesVisited.Store(0)
+	t.NeighborCount.Store(0)
 	if n > 0 {
 		t.build(0, int32(n))
 	}
-	for _, nd := range t.nodes {
-		if nd.left < 0 {
-			t.LeafCount++
-		}
-	}
-	return t
+	t.LeafCount = len(t.leaves)
 }
 
 // build adds the subtree for particle range [start,end) and returns its
@@ -95,6 +122,7 @@ func (t *Tree) build(start, end int32) int32 {
 	t.nodes = append(t.nodes, nd)
 	if end-start <= int32(t.LeafSize) {
 		t.nodes[idx].left, t.nodes[idx].right = -1, -1
+		t.leaves = append(t.leaves, idx)
 		return idx
 	}
 	// Split at the center-of-mass coordinate perpendicular to the longest
@@ -200,83 +228,123 @@ func (t *Tree) Depth() int {
 	return rec(0)
 }
 
-// ComputeForces walks the tree once per leaf, gathers that leaf's shared
-// interaction list into contiguous scratch, and invokes the kernel; leaves
-// are processed by `threads` goroutines. Accelerations accumulate into
-// AX/AY/AZ (zeroed first).
-func (t *Tree) ComputeForces(kern LeafKernel, rcut float64, threads int) {
+// walkScratch is one worker's neighbor-gather buffers and walk stack,
+// persistent across force evaluations.
+type walkScratch struct {
+	nbrX, nbrY, nbrZ []float32
+	stack            []int32
+}
+
+// ensureWalk guarantees at least k per-worker scratch slots.
+func (t *Tree) ensureWalk(k int) {
+	for len(t.walk) < k {
+		t.walk = append(t.walk, walkScratch{})
+	}
+}
+
+// prepForces zeroes the accumulators and the shared leaf cursor.
+func (t *Tree) prepForces() {
 	for i := range t.AX {
 		t.AX[i], t.AY[i], t.AZ[i] = 0, 0, 0
 	}
+	t.next.Store(0)
+}
+
+// leafLoop pulls leaves from the shared cursor until none remain, using
+// worker w's persistent scratch: the dynamically load-balanced inner loop
+// of the force evaluation.
+func (t *Tree) leafLoop(w int, kern LeafKernel, rc float32) {
+	ws := &t.walk[w]
+	nbrX, nbrY, nbrZ := ws.nbrX, ws.nbrY, ws.nbrZ
+	stack := ws.stack
+	var inter, visited, nbrSum int64
+	for {
+		li := t.next.Add(1) - 1
+		if li >= int64(len(t.leaves)) {
+			break
+		}
+		leaf := &t.nodes[t.leaves[li]]
+		// Expanded search box.
+		var lo, hi [3]float32
+		for d := 0; d < 3; d++ {
+			lo[d] = leaf.lo[d] - rc
+			hi[d] = leaf.hi[d] + rc
+		}
+		nbrX = nbrX[:0]
+		nbrY = nbrY[:0]
+		nbrZ = nbrZ[:0]
+		stack = append(stack[:0], 0)
+		for len(stack) > 0 {
+			ni := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nd := &t.nodes[ni]
+			visited++
+			if nd.lo[0] > hi[0] || nd.hi[0] < lo[0] ||
+				nd.lo[1] > hi[1] || nd.hi[1] < lo[1] ||
+				nd.lo[2] > hi[2] || nd.hi[2] < lo[2] {
+				continue
+			}
+			if nd.left < 0 {
+				nbrX = append(nbrX, t.X[nd.start:nd.end]...)
+				nbrY = append(nbrY, t.Y[nd.start:nd.end]...)
+				nbrZ = append(nbrZ, t.Z[nd.start:nd.end]...)
+				continue
+			}
+			stack = append(stack, nd.left, nd.right)
+		}
+		nbrSum += int64(len(nbrX))
+		s, e := leaf.start, leaf.end
+		inter += kern(t.X[s:e], t.Y[s:e], t.Z[s:e],
+			nbrX, nbrY, nbrZ,
+			t.AX[s:e], t.AY[s:e], t.AZ[s:e])
+	}
+	ws.nbrX, ws.nbrY, ws.nbrZ = nbrX, nbrY, nbrZ
+	ws.stack = stack
+	t.Interactions.Add(inter)
+	t.NodesVisited.Add(visited)
+	t.NeighborCount.Add(nbrSum)
+}
+
+// ComputeForces walks the tree once per leaf, gathers that leaf's shared
+// interaction list into contiguous per-worker scratch, and invokes the
+// kernel; leaves are processed by `threads` goroutines. Accelerations
+// accumulate into AX/AY/AZ (zeroed first).
+func (t *Tree) ComputeForces(kern LeafKernel, rcut float64, threads int) {
+	t.prepForces()
 	if len(t.nodes) == 0 {
 		return
-	}
-	// Collect leaf node indices.
-	leaves := make([]int32, 0, t.LeafCount)
-	for i := range t.nodes {
-		if t.nodes[i].left < 0 {
-			leaves = append(leaves, int32(i))
-		}
 	}
 	if threads < 1 {
 		threads = 1
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	t.ensureWalk(threads)
 	rc := float32(rcut)
+	if threads == 1 {
+		t.leafLoop(0, kern, rc)
+		return
+	}
+	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			var nbrX, nbrY, nbrZ []float32
-			var stack []int32
-			var inter, visited, nbrSum int64
-			for {
-				li := next.Add(1) - 1
-				if li >= int64(len(leaves)) {
-					break
-				}
-				leaf := &t.nodes[leaves[li]]
-				// Expanded search box.
-				var lo, hi [3]float32
-				for d := 0; d < 3; d++ {
-					lo[d] = leaf.lo[d] - rc
-					hi[d] = leaf.hi[d] + rc
-				}
-				nbrX = nbrX[:0]
-				nbrY = nbrY[:0]
-				nbrZ = nbrZ[:0]
-				stack = append(stack[:0], 0)
-				for len(stack) > 0 {
-					ni := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					nd := &t.nodes[ni]
-					visited++
-					if nd.lo[0] > hi[0] || nd.hi[0] < lo[0] ||
-						nd.lo[1] > hi[1] || nd.hi[1] < lo[1] ||
-						nd.lo[2] > hi[2] || nd.hi[2] < lo[2] {
-						continue
-					}
-					if nd.left < 0 {
-						nbrX = append(nbrX, t.X[nd.start:nd.end]...)
-						nbrY = append(nbrY, t.Y[nd.start:nd.end]...)
-						nbrZ = append(nbrZ, t.Z[nd.start:nd.end]...)
-						continue
-					}
-					stack = append(stack, nd.left, nd.right)
-				}
-				nbrSum += int64(len(nbrX))
-				s, e := leaf.start, leaf.end
-				inter += kern(t.X[s:e], t.Y[s:e], t.Z[s:e],
-					nbrX, nbrY, nbrZ,
-					t.AX[s:e], t.AY[s:e], t.AZ[s:e])
-			}
-			t.Interactions.Add(inter)
-			t.NodesVisited.Add(visited)
-			t.NeighborCount.Add(nbrSum)
-		}()
+			t.leafLoop(w, kern, rc)
+		}(w)
 	}
 	wg.Wait()
+}
+
+// ComputeForcesPool is ComputeForces dispatched on a persistent worker
+// pool: no goroutine spawns, no per-call scratch — the zero-allocation
+// sub-cycling configuration.
+func (t *Tree) ComputeForcesPool(kern LeafKernel, rcut float64, pool *par.Pool) {
+	t.prepForces()
+	if len(t.nodes) == 0 {
+		return
+	}
+	t.ensureWalk(pool.Workers())
+	rc := float32(rcut)
+	pool.Run(0, func(w int) { t.leafLoop(w, kern, rc) })
 }
 
 // AccelInto scatters the computed accelerations back to the caller's
