@@ -34,6 +34,12 @@ func BenchmarkTableI_FFTStrongScaling(b *testing.B) {
 			b.Fatal(err)
 		}
 		rows = append(rows, r)
+		// The r2c production path rides along at each rank count.
+		rr, err := bench.RunFFTReal(64, ranks, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = append(rows, rr)
 	}
 	once("table1s", func() {
 		fmt.Println("\n=== Table I (strong scaling block, scaled: 1024^3 -> 64^3) ===")

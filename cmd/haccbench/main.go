@@ -101,6 +101,12 @@ func fftExp(n, maxRanks int) error {
 			return err
 		}
 		rows = append(rows, row)
+		// The r2c production path rides along at each rank count.
+		rr, err := bench.RunFFTReal(n, r, 2)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, rr)
 	}
 	// Weak-scaling block with non-power-of-two sizes (paper's 9216³ etc.).
 	weak := []struct{ n, ranks int }{{32, 1}, {40, 2}, {48, 4}, {64, 8}}

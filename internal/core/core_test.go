@@ -45,6 +45,9 @@ func TestConfigDefaultsAndValidate(t *testing.T) {
 }
 
 func TestZeldovichGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step simulation; skipped under -short (race CI)")
+	}
 	// End-to-end validation of the force normalization and the SKS
 	// integrator: in the linear regime the measured P(k) must grow by
 	// D²(a₂)/D²(a₁) between the initial and final redshift. This requires
@@ -93,6 +96,9 @@ func TestZeldovichGrowth(t *testing.T) {
 }
 
 func TestMomentumConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step simulation; skipped under -short (race CI)")
+	}
 	cfg := baseConfig()
 	cfg.Solver = PPTreePM
 	cfg.Steps = 2
@@ -140,6 +146,9 @@ func TestMomentumConservation(t *testing.T) {
 }
 
 func TestParticleConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step simulation; skipped under -short (race CI)")
+	}
 	cfg := baseConfig()
 	cfg.Solver = PPTreePM
 	cfg.Steps = 3
@@ -171,6 +180,9 @@ func TestParticleConservation(t *testing.T) {
 }
 
 func TestSolverAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step simulation; skipped under -short (race CI)")
+	}
 	// Paper §II: the P3M and PPTreePM configurations agree to ~0.1% on the
 	// nonlinear power spectrum. Our two backends share the force kernel, so
 	// their spectra should agree even more tightly.
@@ -212,6 +224,9 @@ func TestSolverAgreement(t *testing.T) {
 }
 
 func TestRankCountIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step simulation; skipped under -short (race CI)")
+	}
 	// Two steps on 1 vs 8 ranks must give closely matching spectra (exact
 	// equality is impossible: float32 summation order differs).
 	run := func(procs int) *analysis.PowerSpectrum {
@@ -250,6 +265,9 @@ func TestRankCountIndependence(t *testing.T) {
 }
 
 func TestNonlinearGrowthExceedsLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step simulation; skipped under -short (race CI)")
+	}
 	// Fig. 10's qualitative content: at high k the measured spectrum grows
 	// beyond the linear prediction once clustering develops.
 	cfg := baseConfig()
@@ -315,8 +333,10 @@ func TestTimersAndCounters(t *testing.T) {
 		if s.Counters.KernelInteractions == 0 {
 			t.Error("no interactions counted")
 		}
-		if s.Counters.FFT3D != 8 { // 2 long-range kicks × 4 transforms
-			t.Errorf("FFT3D=%d want 8", s.Counters.FFT3D)
+		// 2 long-range kicks × (1 r2c forward + 3 c2r inverses) at half the
+		// complex-transform cost each: 4 complex-transform equivalents.
+		if s.Counters.FFT3D != 4 {
+			t.Errorf("FFT3D=%d want 4", s.Counters.FFT3D)
 		}
 		if s.Timers.Get("kernel") == 0 || s.Timers.Get("fft") == 0 {
 			t.Error("phase timers empty")
@@ -335,6 +355,9 @@ func TestTimersAndCounters(t *testing.T) {
 }
 
 func TestHaloFindingInSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step simulation; skipped under -short (race CI)")
+	}
 	// By z≈1 in a small box, FOF should find halos and the mass function
 	// should decline with mass.
 	cfg := baseConfig()

@@ -11,6 +11,9 @@ import (
 // TestMultiTreeMatchesSingleTree verifies the §VI multi-tree configuration
 // produces the same physics as the single-tree default.
 func TestMultiTreeMatchesSingleTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step simulation; skipped under -short (race CI)")
+	}
 	run := func(nTrees int) []float64 {
 		cfg := baseConfig()
 		cfg.Solver = PPTreePM
@@ -91,6 +94,9 @@ func TestThreadedCICMatchesSerial(t *testing.T) {
 // quintessence model, and a CPL model — the paper's §V science program —
 // and checks the measured growth ordering matches linear theory.
 func TestDarkEnergyModelSpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step simulation; skipped under -short (race CI)")
+	}
 	growthOf := func(w, wa float64) (measured, linear float64) {
 		cfg := baseConfig()
 		cfg.Solver = PPTreePM

@@ -62,6 +62,9 @@ func TestThreadedPipelineMatchesSerial(t *testing.T) {
 // the threaded deposit is on (float64 accumulation order changes at slab
 // boundaries; trajectories may diverge slightly over steps).
 func TestThreadedCICCloseToSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step simulation; skipped under -short (race CI)")
+	}
 	cfg := baseConfig()
 	cfg.Solver = PPTreePM
 	cfg.Steps = 2

@@ -126,6 +126,7 @@ func New(c *mpi.Comm, cfg Config) (*Simulation, error) {
 		Ns:     cfg.NsFilter,
 		Filter: !cfg.DisableFilter,
 		Slab:   cfg.SlabFFT,
+		Pool:   s.pool,
 	})
 	s.Counters.FFTGridN = cfg.NGrid
 
@@ -228,7 +229,10 @@ func (s *Simulation) kickLong(w float64) {
 	s.Timers.Time("comm", func() { s.rhoEx.Accumulate(s.rho) })
 	s.Timers.Time("fft", func() {
 		s.poisson.Solve(s.rho, &s.acc)
-		s.Counters.FFT3D += 4 // one forward + three gradient inverses
+		// One r2c forward + three c2r gradient inverses; Hermitian symmetry
+		// halves each, so the flop model counts 4×½ = 2 complex-transform
+		// equivalents.
+		s.Counters.FFT3D += 2
 	})
 	s.Timers.Time("comm", func() {
 		for d := 0; d < 3; d++ {

@@ -27,6 +27,9 @@ type Plan struct {
 	blue    *bluestein   // non-nil when a cofactor > maxSmallFactor remains
 	maxF    int          // largest small factor (scratch sizing)
 	scratch sync.Pool
+
+	halfOnce sync.Once
+	halfPlan *Plan // length-n/2 plan backing the real transforms (even n)
 }
 
 // NewPlan creates a plan for transforms of length n.

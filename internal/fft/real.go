@@ -1,0 +1,160 @@
+package fft
+
+import "fmt"
+
+// Real-to-complex transforms exploiting Hermitian symmetry: a real sequence
+// of length n has only n/2+1 independent spectral coefficients, so the
+// forward transform and all k-space work on real fields (density,
+// acceleration components) is halved. For even n the transform runs through
+// one complex FFT of length n/2 plus an O(n) untangling pass — the classic
+// packed-real algorithm HACC's production pencil FFT uses; odd lengths fall
+// back to a full complex transform (the half spectrum is still returned, so
+// callers are oblivious).
+
+// HalfLen returns the number of independent spectral coefficients of a real
+// transform of length n: n/2+1 (for both parities of n).
+func (p *Plan) HalfLen() int { return p.n/2 + 1 }
+
+// half returns the lazily-created length-n/2 plan (even n only).
+func (p *Plan) half() *Plan {
+	p.halfOnce.Do(func() { p.halfPlan = NewPlan(p.n / 2) })
+	return p.halfPlan
+}
+
+// ForwardReal computes the forward DFT of the real sequence src (length n),
+// storing the non-negative-frequency half spectrum X[0..n/2] into dst
+// (length HalfLen). src is left untouched. The spectral convention matches
+// Forward: X[k] = Σ_j src[j]·exp(-2πi jk/n).
+func (p *Plan) ForwardReal(dst []complex128, src []float64) {
+	n := p.n
+	if len(src) != n {
+		panic(fmt.Sprintf("fft: real input length %d != plan length %d", len(src), n))
+	}
+	if len(dst) != p.HalfLen() {
+		panic(fmt.Sprintf("fft: half-spectrum length %d != %d", len(dst), p.HalfLen()))
+	}
+	if n == 1 {
+		dst[0] = complex(src[0], 0)
+		return
+	}
+	bufp := p.scratch.Get().(*[]complex128)
+	buf := *bufp
+	if n%2 != 0 {
+		// Odd length: full complex transform, keep the first n/2+1 modes.
+		tmp := buf[:n]
+		for j, v := range src {
+			tmp[j] = complex(v, 0)
+		}
+		p.Forward(tmp)
+		copy(dst, tmp[:p.HalfLen()])
+		p.scratch.Put(bufp)
+		return
+	}
+	// Even length: pack pairs into a half-length complex sequence
+	// z[j] = src[2j] + i·src[2j+1], transform, and untangle with
+	//   E[k] = (Z[k] + conj(Z[m-k]))/2        (spectrum of even samples)
+	//   O[k] = (Z[k] - conj(Z[m-k]))/(2i)     (spectrum of odd samples)
+	//   X[k] = E[k] + ω_n^k·O[k].
+	m := n / 2
+	z := buf[:m]
+	for j := 0; j < m; j++ {
+		z[j] = complex(src[2*j], src[2*j+1])
+	}
+	p.half().Forward(z)
+	// k = 0 and k = m: purely real endpoints.
+	dst[0] = complex(real(z[0])+imag(z[0]), 0)
+	dst[m] = complex(real(z[0])-imag(z[0]), 0)
+	for k := 1; k < m; k++ {
+		zk := z[k]
+		zc := z[m-k]
+		e := complex(real(zk)+real(zc), imag(zk)-imag(zc)) * 0.5
+		o := complex(imag(zk)+imag(zc), real(zc)-real(zk)) * 0.5
+		dst[k] = e + p.tw[k]*o
+	}
+	p.scratch.Put(bufp)
+}
+
+// InverseReal computes the inverse DFT of the half spectrum src (length
+// HalfLen, assumed Hermitian-consistent: the implied negative frequencies
+// are conj(src)), storing the real result into dst (length n), scaled by
+// 1/n so that InverseReal(ForwardReal(x)) == x. src is left untouched.
+func (p *Plan) InverseReal(dst []float64, src []complex128) {
+	n := p.n
+	if len(dst) != n {
+		panic(fmt.Sprintf("fft: real output length %d != plan length %d", len(dst), n))
+	}
+	if len(src) != p.HalfLen() {
+		panic(fmt.Sprintf("fft: half-spectrum length %d != %d", len(src), p.HalfLen()))
+	}
+	if n == 1 {
+		dst[0] = real(src[0])
+		return
+	}
+	bufp := p.scratch.Get().(*[]complex128)
+	buf := *bufp
+	if n%2 != 0 {
+		// Odd length: rebuild the full spectrum by conjugate symmetry.
+		tmp := buf[:n]
+		copy(tmp, src)
+		for k := p.HalfLen(); k < n; k++ {
+			v := src[n-k]
+			tmp[k] = complex(real(v), -imag(v))
+		}
+		p.Inverse(tmp)
+		for j := 0; j < n; j++ {
+			dst[j] = real(tmp[j])
+		}
+		p.scratch.Put(bufp)
+		return
+	}
+	// Even length: re-tangle into the half-length packed spectrum
+	// Z[k] = E[k] + i·O[k] with
+	//   E[k] = (X[k] + conj(X[m-k]))/2, O[k] = ω_n^{-k}·(X[k] - conj(X[m-k]))/2,
+	// then one half-length inverse FFT unpacks to the interleaved reals.
+	m := n / 2
+	z := buf[:m]
+	e0 := (real(src[0]) + real(src[m])) * 0.5
+	o0 := (real(src[0]) - real(src[m])) * 0.5
+	z[0] = complex(e0, o0)
+	for k := 1; k < m; k++ {
+		xk := src[k]
+		xc := src[m-k]
+		e := complex(real(xk)+real(xc), imag(xk)-imag(xc)) * 0.5
+		d := complex(real(xk)-real(xc), imag(xk)+imag(xc)) * 0.5
+		w := p.tw[k]
+		o := d * complex(real(w), -imag(w)) // ω_n^{-k} = conj(ω_n^k)
+		z[k] = e + complex(-imag(o), real(o))
+	}
+	p.half().Inverse(z)
+	for j := 0; j < m; j++ {
+		dst[2*j] = real(z[j])
+		dst[2*j+1] = imag(z[j])
+	}
+	p.scratch.Put(bufp)
+}
+
+// ForwardRealBatch applies ForwardReal to `rows` contiguous real rows of
+// length n, writing half-spectrum rows of length HalfLen back to back.
+func (p *Plan) ForwardRealBatch(dst []complex128, src []float64, rows int) {
+	nh := p.HalfLen()
+	if len(src) != rows*p.n || len(dst) != rows*nh {
+		panic(fmt.Sprintf("fft: real batch %d/%d != %d rows × %d/%d",
+			len(src), len(dst), rows, p.n, nh))
+	}
+	for r := 0; r < rows; r++ {
+		p.ForwardReal(dst[r*nh:(r+1)*nh], src[r*p.n:(r+1)*p.n])
+	}
+}
+
+// InverseRealBatch applies InverseReal to `rows` contiguous half-spectrum
+// rows, writing real rows of length n back to back.
+func (p *Plan) InverseRealBatch(dst []float64, src []complex128, rows int) {
+	nh := p.HalfLen()
+	if len(dst) != rows*p.n || len(src) != rows*nh {
+		panic(fmt.Sprintf("fft: real batch %d/%d != %d rows × %d/%d",
+			len(dst), len(src), rows, p.n, nh))
+	}
+	for r := 0; r < rows; r++ {
+		p.InverseReal(dst[r*p.n:(r+1)*p.n], src[r*nh:(r+1)*nh])
+	}
+}

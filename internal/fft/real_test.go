@@ -1,0 +1,135 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// refHalfSpectrum computes the first n/2+1 modes through the complex path.
+func refHalfSpectrum(src []float64) []complex128 {
+	n := len(src)
+	full := make([]complex128, n)
+	for i, v := range src {
+		full[i] = complex(v, 0)
+	}
+	NewPlan(n).Forward(full)
+	return full[:n/2+1]
+}
+
+func randReal(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// realTestLengths covers the even fast path (powers of two, mixed radix),
+// odd lengths, primes (Bluestein), and the trivial sizes.
+var realTestLengths = []int{1, 2, 4, 6, 8, 12, 16, 24, 27, 30, 31, 37, 64, 100}
+
+func TestForwardRealMatchesComplex(t *testing.T) {
+	for _, n := range realTestLengths {
+		p := NewPlan(n)
+		src := randReal(n, int64(n))
+		dst := make([]complex128, p.HalfLen())
+		p.ForwardReal(dst, src)
+		want := refHalfSpectrum(src)
+		var scale float64
+		for _, v := range want {
+			if a := cmplx.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for k := range want {
+			if cmplx.Abs(dst[k]-want[k]) > 1e-12*scale {
+				t.Errorf("n=%d k=%d: r2c %v != complex %v", n, k, dst[k], want[k])
+			}
+		}
+		// Endpoint modes of a real signal are purely real — exactly so on
+		// the even fast path (constructed real); the odd fallback runs a
+		// full complex transform and may leave roundoff in the imaginary
+		// part, which the relative check above already bounds.
+		if n%2 == 0 && n > 1 {
+			if imag(dst[0]) != 0 {
+				t.Errorf("n=%d: DC mode has imaginary part %g", n, imag(dst[0]))
+			}
+			if imag(dst[n/2]) != 0 {
+				t.Errorf("n=%d: Nyquist mode has imaginary part %g", n, imag(dst[n/2]))
+			}
+		}
+	}
+}
+
+func TestInverseRealRoundTrip(t *testing.T) {
+	for _, n := range realTestLengths {
+		p := NewPlan(n)
+		src := randReal(n, 100+int64(n))
+		spec := make([]complex128, p.HalfLen())
+		p.ForwardReal(spec, src)
+		specCopy := append([]complex128(nil), spec...)
+		back := make([]float64, n)
+		p.InverseReal(back, spec)
+		var scale float64
+		for _, v := range src {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for j := range src {
+			d := back[j] - src[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e-12*(scale+1) {
+				t.Errorf("n=%d j=%d: round trip %g != %g", n, j, back[j], src[j])
+			}
+		}
+		// Inputs must be preserved (the pencil pipeline relies on it).
+		for k := range spec {
+			if spec[k] != specCopy[k] {
+				t.Errorf("n=%d: InverseReal clobbered its input at %d", n, k)
+			}
+		}
+	}
+}
+
+func TestRealBatch(t *testing.T) {
+	const n, rows = 12, 5
+	p := NewPlan(n)
+	nh := p.HalfLen()
+	src := randReal(n*rows, 9)
+	dst := make([]complex128, nh*rows)
+	p.ForwardRealBatch(dst, src, rows)
+	for r := 0; r < rows; r++ {
+		want := make([]complex128, nh)
+		p.ForwardReal(want, src[r*n:(r+1)*n])
+		for k := 0; k < nh; k++ {
+			if dst[r*nh+k] != want[k] {
+				t.Fatalf("row %d mode %d: batch %v != single %v", r, k, dst[r*nh+k], want[k])
+			}
+		}
+	}
+	back := make([]float64, n*rows)
+	p.InverseRealBatch(back, dst, rows)
+	for j := range src {
+		d := back[j] - src[j]
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-12 {
+			t.Fatalf("batch round trip mismatch at %d: %g != %g", j, back[j], src[j])
+		}
+	}
+}
+
+func TestHalfLen(t *testing.T) {
+	for n, want := range map[int]int{1: 1, 2: 2, 3: 2, 8: 5, 9: 5, 16: 9} {
+		if got := NewPlan(n).HalfLen(); got != want {
+			t.Errorf("HalfLen(%d)=%d want %d", n, got, want)
+		}
+	}
+}

@@ -144,16 +144,28 @@ func (f *Field) Fill(v float64) {
 // Owned extracts the interior (owned) region as a contiguous array in the
 // canonical block-layout order (z fastest), ready for pfft.Redistribute.
 func (f *Field) Owned() []float64 {
-	out := make([]float64, f.size[0]*f.size[1]*f.size[2])
+	return f.OwnedInto(nil)
+}
+
+// OwnedInto is Owned with a caller-provided destination: dst is grown only
+// if its capacity is insufficient and returned at the owned-region length,
+// so a buffer reused across calls makes the block↔pencil boundary
+// allocation-free (SetOwned is already the non-allocating inverse).
+func (f *Field) OwnedInto(dst []float64) []float64 {
+	n := f.size[0] * f.size[1] * f.size[2]
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
 	k := 0
 	for x := 0; x < f.size[0]; x++ {
 		for y := 0; y < f.size[1]; y++ {
 			base := ((x+f.Ghost)*f.ext[1]+y+f.Ghost)*f.ext[2] + f.Ghost
-			copy(out[k:k+f.size[2]], f.Data[base:base+f.size[2]])
+			copy(dst[k:k+f.size[2]], f.Data[base:base+f.size[2]])
 			k += f.size[2]
 		}
 	}
-	return out
+	return dst
 }
 
 // SetOwned stores a contiguous owned-region array (block-layout order) back

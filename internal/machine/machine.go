@@ -44,9 +44,12 @@ func FFT3Flops(n int) float64 {
 // rank, then reduced by the caller.
 type Counters struct {
 	KernelInteractions int64
-	FFT3D              int64 // number of 3-D transforms
-	FFTGridN           int   // grid size per transform
-	CICOps             int64 // particle·field deposit/interp operations
+	// FFT3D counts complex 3-D transform equivalents: a real-to-complex or
+	// complex-to-real transform exploits Hermitian symmetry and counts ½,
+	// so the production r2c Poisson solve (1 forward + 3 inverses) adds 2.
+	FFT3D    int64
+	FFTGridN int   // grid size per transform
+	CICOps   int64 // particle·field deposit/interp operations
 }
 
 // Flops converts the counters to a total flop count under the model.

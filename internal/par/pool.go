@@ -71,8 +71,18 @@ const minSpan = 2048
 // For runs body over [0,n) split into contiguous shards, one per worker,
 // and waits for completion. Small ranges run serially on the caller.
 func (p *Pool) For(n int, body func(lo, hi int)) {
+	p.ForGrain(n, minSpan, body)
+}
+
+// ForGrain is For with an explicit grain: the smallest per-worker span worth
+// a dispatch. Use it when one index represents substantial work (a whole FFT
+// row, say) and the default element-count heuristic would stay serial.
+func (p *Pool) ForGrain(n, grain int, body func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
 	threads := len(p.chans)
-	if lim := n / minSpan; threads > lim {
+	if lim := n / grain; threads > lim {
 		threads = lim
 	}
 	if threads <= 1 {

@@ -9,11 +9,7 @@
 // decomposition and FFT pencils).
 package pfft
 
-import (
-	"fmt"
-
-	"hacc/internal/mpi"
-)
+import "hacc/internal/mpi"
 
 // Box is a half-open axis-aligned box [Lo, Hi) in 3-D grid coordinates.
 type Box struct {
@@ -165,51 +161,12 @@ func forEach(b Box, order [3]int, fn func(g [3]int, k int)) {
 
 // Redistribute moves a distributed array from one layout to another. src is
 // the caller's local data in `from` storage order; the returned slice is the
-// caller's local data under `to`. Implemented as a single personalized
-// all-to-all of the box intersections.
+// caller's local data under `to`. One-shot convenience over Redistributor:
+// empty intersections exchange no messages and the rank's own overlap is a
+// direct copy (the old implementation round-tripped both through the mpi
+// mailbox). Hot paths should build a Redistributor once and reuse it.
 func Redistribute[T any](c *mpi.Comm, src []T, from, to *Layout) []T {
-	p := c.Size()
-	me := c.Rank()
-	if len(from.Boxes) != p || len(to.Boxes) != p {
-		panic(fmt.Sprintf("pfft: layout has %d/%d boxes for comm of size %d",
-			len(from.Boxes), len(to.Boxes), p))
-	}
-	if len(src) != from.Boxes[me].Count() {
-		panic(fmt.Sprintf("pfft: local data length %d != box count %d",
-			len(src), from.Boxes[me].Count()))
-	}
-	mine := from.Boxes[me]
-	sendParts := make([][]T, p)
-	for r := 0; r < p; r++ {
-		itc := Intersect(mine, to.Boxes[r])
-		if itc.Empty() {
-			continue
-		}
-		buf := make([]T, itc.Count())
-		forEach(itc, from.Order, func(g [3]int, k int) {
-			buf[k] = src[from.LocalIndex(me, g)]
-		})
-		sendParts[r] = buf
-	}
-	recv := mpi.AllToAll(c, sendParts)
-	dstBox := to.Boxes[me]
-	dst := make([]T, dstBox.Count())
-	for r := 0; r < p; r++ {
-		itc := Intersect(from.Boxes[r], dstBox)
-		if itc.Empty() {
-			continue
-		}
-		buf := recv[r]
-		if len(buf) != itc.Count() {
-			panic(fmt.Sprintf("pfft: received %d elements from rank %d, expected %d",
-				len(buf), r, itc.Count()))
-		}
-		// The sender packed in its own storage order; walk the same way.
-		forEach(itc, from.Order, func(g [3]int, k int) {
-			dst[to.LocalIndex(me, g)] = buf[k]
-		})
-	}
-	return dst
+	return NewRedistributor[T](c, from, to).Run(src, nil)
 }
 
 func min(a, b int) int {

@@ -1,0 +1,132 @@
+package pfft
+
+import (
+	"fmt"
+
+	"hacc/internal/mpi"
+)
+
+// redistTag is the point-to-point tag used by Redistributor traffic. Each
+// collective Run exchanges at most one message per (ordered) rank pair, and
+// the in-process mpi preserves per-pair FIFO order, so a fixed tag is safe.
+const redistTag = 0x5244
+
+// peerXfer is one planned transfer leg: the peer rank, the local storage
+// indices visited in the sender's pack order, and (sends only) a persistent
+// staging buffer reused across Runs.
+type peerXfer[T any] struct {
+	rank int
+	idx  []int
+	buf  []T
+}
+
+// Redistributor is a planned layout-to-layout redistribution. Building the
+// plan walks the box intersections once: empty intersections are dropped (no
+// zero-length messages), the rank's own overlap becomes a direct src→dst
+// copy that never touches the mpi mailbox, and every remaining leg gets a
+// precomputed index list plus (for sends) a persistent pack buffer. Run then
+// reduces to gather→send, local copy, recv→scatter.
+//
+// A Redistributor is collective state: every rank of the communicator must
+// build the plan over the same layout pair and call Run collectively. Run is
+// not safe for concurrent use of one plan.
+type Redistributor[T any] struct {
+	comm           *mpi.Comm
+	from, to       *Layout
+	srcLen, dstLen int
+
+	selfSrc, selfDst []int // direct copy: dst[selfDst[i]] = src[selfSrc[i]]
+	sends, recvs     []peerXfer[T]
+}
+
+// NewRedistributor plans the redistribution from one layout to the other on
+// the given communicator. Purely local (no communication).
+func NewRedistributor[T any](c *mpi.Comm, from, to *Layout) *Redistributor[T] {
+	p := c.Size()
+	if len(from.Boxes) != p || len(to.Boxes) != p {
+		panic(fmt.Sprintf("pfft: layout has %d/%d boxes for comm of size %d",
+			len(from.Boxes), len(to.Boxes), p))
+	}
+	me := c.Rank()
+	rd := &Redistributor[T]{
+		comm: c, from: from, to: to,
+		srcLen: from.Boxes[me].Count(),
+		dstLen: to.Boxes[me].Count(),
+	}
+	mine := from.Boxes[me]
+	dstBox := to.Boxes[me]
+	for r := 0; r < p; r++ {
+		// Outgoing: the part of my source box that rank r owns under `to`.
+		if itc := Intersect(mine, to.Boxes[r]); !itc.Empty() {
+			idx := make([]int, itc.Count())
+			forEach(itc, from.Order, func(g [3]int, k int) {
+				idx[k] = from.LocalIndex(me, g)
+			})
+			if r == me {
+				rd.selfSrc = idx
+			} else {
+				rd.sends = append(rd.sends, peerXfer[T]{rank: r, idx: idx, buf: make([]T, len(idx))})
+			}
+		}
+		// Incoming: the part of my destination box that rank r owns under
+		// `from`. The sender packs in its own (from) storage order; walking
+		// the same way maps arrival position k to my local index.
+		if itc := Intersect(from.Boxes[r], dstBox); !itc.Empty() {
+			idx := make([]int, itc.Count())
+			forEach(itc, from.Order, func(g [3]int, k int) {
+				idx[k] = to.LocalIndex(me, g)
+			})
+			if r == me {
+				rd.selfDst = idx
+			} else {
+				rd.recvs = append(rd.recvs, peerXfer[T]{rank: r, idx: idx})
+			}
+		}
+	}
+	return rd
+}
+
+// SrcLen returns this rank's local element count under the source layout.
+func (rd *Redistributor[T]) SrcLen() int { return rd.srcLen }
+
+// DstLen returns this rank's local element count under the destination
+// layout.
+func (rd *Redistributor[T]) DstLen() int { return rd.dstLen }
+
+// Run moves src (local data under the source layout) into dst (local data
+// under the destination layout) and returns dst; a nil dst is allocated.
+// src and dst must not alias. Collective over the plan's communicator.
+func (rd *Redistributor[T]) Run(src, dst []T) []T {
+	if len(src) != rd.srcLen {
+		panic(fmt.Sprintf("pfft: local data length %d != box count %d", len(src), rd.srcLen))
+	}
+	if dst == nil {
+		dst = make([]T, rd.dstLen)
+	} else if len(dst) != rd.dstLen {
+		panic(fmt.Sprintf("pfft: destination length %d != box count %d", len(dst), rd.dstLen))
+	}
+	// Sends are eager (buffered) in the mpi runtime, so posting them all
+	// before any receive cannot deadlock.
+	for i := range rd.sends {
+		s := &rd.sends[i]
+		for k, j := range s.idx {
+			s.buf[k] = src[j]
+		}
+		mpi.Send(rd.comm, s.rank, redistTag, s.buf)
+	}
+	for k, j := range rd.selfSrc {
+		dst[rd.selfDst[k]] = src[j]
+	}
+	for i := range rd.recvs {
+		r := &rd.recvs[i]
+		buf := mpi.Recv[T](rd.comm, r.rank, redistTag)
+		if len(buf) != len(r.idx) {
+			panic(fmt.Sprintf("pfft: received %d elements from rank %d, expected %d",
+				len(buf), r.rank, len(r.idx)))
+		}
+		for k, j := range r.idx {
+			dst[j] = buf[k]
+		}
+	}
+	return dst
+}

@@ -1,0 +1,252 @@
+package pfft
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"hacc/internal/fft"
+	"hacc/internal/mpi"
+)
+
+// redistributeReference is the pre-plan implementation (a personalized
+// all-to-all that exchanged zero-length messages for empty intersections and
+// round-tripped the self overlap through the mailbox), kept verbatim as the
+// bitwise oracle for the Redistributor plan.
+func redistributeReference[T any](c *mpi.Comm, src []T, from, to *Layout) []T {
+	p := c.Size()
+	me := c.Rank()
+	mine := from.Boxes[me]
+	sendParts := make([][]T, p)
+	for r := 0; r < p; r++ {
+		itc := Intersect(mine, to.Boxes[r])
+		if itc.Empty() {
+			continue
+		}
+		buf := make([]T, itc.Count())
+		forEach(itc, from.Order, func(g [3]int, k int) {
+			buf[k] = src[from.LocalIndex(me, g)]
+		})
+		sendParts[r] = buf
+	}
+	recv := mpi.AllToAll(c, sendParts)
+	dstBox := to.Boxes[me]
+	dst := make([]T, dstBox.Count())
+	for r := 0; r < p; r++ {
+		itc := Intersect(from.Boxes[r], dstBox)
+		if itc.Empty() {
+			continue
+		}
+		buf := recv[r]
+		forEach(itc, from.Order, func(g [3]int, k int) {
+			dst[to.LocalIndex(me, g)] = buf[k]
+		})
+	}
+	return dst
+}
+
+// TestRedistributorMatchesLegacy pins the planned redistribution bitwise
+// against the all-to-all reference, over non-power-of-two grids, a
+// single-rank world, slab (p2=1) layouts, and layouts with empty
+// intersections; plan reuse across repeated Runs must be stable.
+func TestRedistributorMatchesLegacy(t *testing.T) {
+	cases := []struct {
+		name     string
+		n        [3]int
+		procs    int
+		from, to func(n [3]int, p int) *Layout
+	}{
+		{"block-to-pencil", [3]int{12, 10, 9}, 4,
+			func(n [3]int, p int) *Layout { return Block3D(n, [3]int{2, 2, 1}) },
+			func(n [3]int, p int) *Layout { return PencilZ(n, 2, 2) }},
+		{"single-rank", [3]int{7, 5, 6}, 1,
+			func(n [3]int, p int) *Layout { return Block3D(n, [3]int{1, 1, 1}) },
+			func(n [3]int, p int) *Layout { return PencilX(n, 1, 1) }},
+		{"slab", [3]int{8, 12, 10}, 4,
+			func(n [3]int, p int) *Layout { return PencilX(n, p, 1) },
+			func(n [3]int, p int) *Layout { return PencilY(n, p, 1) }},
+		{"sparse-overlap", [3]int{11, 13, 8}, 6,
+			func(n [3]int, p int) *Layout { return PencilX(n, 3, 2) },
+			func(n [3]int, p int) *Layout { return PencilZ(n, 3, 2) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			full := randomGlobal(tc.n, 31)
+			from := tc.from(tc.n, tc.procs)
+			to := tc.to(tc.n, tc.procs)
+			err := mpi.Run(tc.procs, func(c *mpi.Comm) {
+				local := scatterGlobal(c.Rank(), full, from)
+				want := redistributeReference(c, local, from, to)
+				rd := NewRedistributor[complex128](c, from, to)
+				dst := make([]complex128, rd.DstLen())
+				for rep := 0; rep < 3; rep++ {
+					rd.Run(local, dst)
+					for i := range dst {
+						if dst[i] != want[i] {
+							t.Errorf("rank %d rep %d idx %d: plan %v != legacy %v",
+								c.Rank(), rep, i, dst[i], want[i])
+							return
+						}
+					}
+				}
+				// The one-shot convenience must agree too.
+				oneShot := Redistribute(c, local, from, to)
+				for i := range oneShot {
+					if oneShot[i] != want[i] {
+						t.Errorf("rank %d: one-shot mismatch at %d", c.Rank(), i)
+						return
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPencilPlannedMatchesUnplanned pins the planned, persistent-buffer
+// Forward/Inverse bitwise against a manually composed legacy pipeline
+// (per-call batch transforms + one-shot redistributions).
+func TestPencilPlannedMatchesUnplanned(t *testing.T) {
+	n := [3]int{12, 10, 8}
+	const p1, p2 = 3, 2
+	full := randomGlobal(n, 77)
+	err := mpi.Run(p1*p2, func(c *mpi.Comm) {
+		p := NewPencil(c, n, p1, p2)
+		rowFrom, rowTo, colFrom, colTo := restrictTransposes(n, p1, p2, p.c1, p.c2,
+			p.layX, p.layY, p.layZ)
+
+		local := scatterGlobal(c.Rank(), full, p.layX)
+		// Legacy composition, allocating at every stage.
+		ref := append([]complex128(nil), local...)
+		p.planX.ForwardBatch(ref, p.rowsX)
+		ref = redistributeReference(p.rowComm, ref, rowFrom, rowTo)
+		p.planY.ForwardBatch(ref, p.rowsY)
+		ref = redistributeReference(p.colComm, ref, colFrom, colTo)
+		p.planZ.ForwardBatch(ref, p.rowsZ)
+
+		spec := p.Forward(local)
+		for i := range spec {
+			if spec[i] != ref[i] {
+				t.Errorf("rank %d idx %d: planned %v != legacy %v", c.Rank(), i, spec[i], ref[i])
+				return
+			}
+		}
+
+		// Inverse likewise.
+		refInv := append([]complex128(nil), ref...)
+		p.planZ.InverseBatch(refInv, p.rowsZ)
+		refInv = redistributeReference(p.colComm, refInv, colTo, colFrom)
+		p.planY.InverseBatch(refInv, p.rowsY)
+		refInv = redistributeReference(p.rowComm, refInv, rowTo, rowFrom)
+		p.planX.InverseBatch(refInv, p.rowsX)
+
+		specCopy := append([]complex128(nil), spec...)
+		back := p.Inverse(specCopy)
+		for i := range back {
+			if back[i] != refInv[i] {
+				t.Errorf("rank %d idx %d: planned inverse %v != legacy %v", c.Rank(), i, back[i], refInv[i])
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gatherGlobalR reconstructs the global half-spectrum array from local
+// half-grid z-pencil pieces.
+func gatherGlobalR(c *mpi.Comm, local []complex128, lay *Layout) []complex128 {
+	n := lay.N
+	full := make([]complex128, n[0]*n[1]*n[2])
+	forEach(lay.Boxes[c.Rank()], lay.Order, func(g [3]int, k int) {
+		full[(g[0]*n[1]+g[1])*n[2]+g[2]] = local[k]
+	})
+	return mpi.AllReduce(c, full, func(a, b complex128) complex128 { return a + b })
+}
+
+// TestPencilRealMatchesComplex: the distributed r2c forward must reproduce
+// the non-negative-kx half of the complex transform to 1e-12 relative, and
+// InverseReal(ForwardReal(x)) must return x, across pencil, slab (p2=1,
+// including p1 exceeding the half extent), and single-rank decompositions,
+// on even, odd, and non-cubic grids.
+func TestPencilRealMatchesComplex(t *testing.T) {
+	cases := []struct {
+		n      [3]int
+		p1, p2 int
+	}{
+		{[3]int{8, 8, 8}, 1, 1},
+		{[3]int{8, 8, 8}, 2, 2},
+		{[3]int{8, 8, 8}, 8, 1}, // slab with p1 > n0/2+1: empty half-pencils
+		{[3]int{8, 8, 8}, 1, 4},
+		{[3]int{12, 10, 8}, 3, 2}, // non-cubic
+		{[3]int{9, 6, 10}, 2, 2},  // odd x extent
+		{[3]int{10, 10, 10}, 5, 2},
+	}
+	for _, tc := range cases {
+		full := randomGlobal(tc.n, 5)
+		// Real field: drop the imaginary parts.
+		realFull := make([]float64, len(full))
+		for i, v := range full {
+			realFull[i] = real(v)
+		}
+		want := make([]complex128, len(full))
+		for i, v := range realFull {
+			want[i] = complex(v, 0)
+		}
+		fft.NewPlan3(tc.n[0], tc.n[1], tc.n[2]).Forward(want)
+		err := mpi.Run(tc.p1*tc.p2, func(c *mpi.Comm) {
+			p := NewPencil(c, tc.n, tc.p1, tc.p2)
+			var local []float64
+			forEach(p.LocalX(), p.layX.Order, func(g [3]int, k int) {
+				local = append(local, realFull[(g[0]*tc.n[1]+g[1])*tc.n[2]+g[2]])
+			})
+			if local == nil {
+				local = []float64{}
+			}
+			spec := p.ForwardReal(local)
+			half := gatherGlobalR(c, spec, p.layZr)
+			if c.Rank() == 0 {
+				nh := p.NHalf()
+				var scale float64
+				for _, v := range want {
+					if a := cmplx.Abs(v); a > scale {
+						scale = a
+					}
+				}
+				for kx := 0; kx < nh[0]; kx++ {
+					for ky := 0; ky < nh[1]; ky++ {
+						for kz := 0; kz < nh[2]; kz++ {
+							got := half[(kx*nh[1]+ky)*nh[2]+kz]
+							w := want[(kx*tc.n[1]+ky)*tc.n[2]+kz]
+							if cmplx.Abs(got-w) > 1e-12*scale {
+								t.Errorf("n=%v p=%d×%d mode (%d,%d,%d): r2c %v != complex %v",
+									tc.n, tc.p1, tc.p2, kx, ky, kz, got, w)
+								return
+							}
+						}
+					}
+				}
+			}
+			// Round trip.
+			back := make([]float64, len(local))
+			specCopy := append([]complex128(nil), spec...)
+			p.InverseReal(specCopy, back)
+			for i := range back {
+				d := back[i] - local[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > 1e-12*10 {
+					t.Errorf("n=%v p=%d×%d rank %d: round trip mismatch at %d: %g != %g",
+						tc.n, tc.p1, tc.p2, c.Rank(), i, back[i], local[i])
+					return
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

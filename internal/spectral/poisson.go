@@ -5,6 +5,7 @@ import (
 
 	"hacc/internal/grid"
 	"hacc/internal/mpi"
+	"hacc/internal/par"
 	"hacc/internal/pfft"
 )
 
@@ -21,18 +22,49 @@ type Options struct {
 	// this with the isotropizing filter; the option exists as the baseline
 	// for the anisotropy ablation (Filter and Deconvolve are exclusive).
 	Deconvolve bool
+
+	// Pool, when set, threads the k-space loops and the batched 1-D
+	// transforms across the simulation's persistent worker pool. All pooled
+	// loops are per-element independent, so the result is bitwise identical
+	// to the serial path. Nil keeps the solver serial.
+	Pool *par.Pool
 }
 
 // Poisson is the distributed long/medium-range force solver. It owns the
-// pencil FFT, the block↔pencil redistribution layouts, and the precomputed
-// k-space kernel on this rank's share of spectral space.
+// pencil FFT, the planned block↔pencil redistributions, the precomputed
+// k-space tables on this rank's share of the (Hermitian-halved) spectrum,
+// and all solve scratch — steady-state Solve allocates nothing beyond the
+// mpi runtime's per-message copies.
 type Poisson struct {
-	comm   *mpi.Comm
-	dec    *grid.Decomp
-	pen    *pfft.Pencil
-	opts   Options
-	kernel []float64    // (3/2)Ωm · F(k) · 1/λ(k) on local z-pencil modes
-	dTab   [3][]float64 // GradSL4 per axis mode index
+	comm *mpi.Comm
+	dec  *grid.Decomp
+	pen  *pfft.Pencil
+	opts Options
+	pool *par.Pool
+
+	// kernel is the composed Poisson kernel (3/2)Ωm·F(k)/λ(k) per local
+	// half-spectrum z-pencil mode; dTab holds the GradSL4 factor per global
+	// axis mode (three O(n) tables — the gradient loops recover the axis
+	// mode from the flat index, so no per-mode gradient storage is needed).
+	kernel []float64
+	dTab   [3][]float64
+	kbox   pfft.Box // this rank's half-spectrum z-pencil box
+
+	// Planned block↔x-pencil redistributions and persistent scratch.
+	toPen    *pfft.Redistributor[float64]
+	fromPen  *pfft.Redistributor[float64]
+	ownedBuf []float64    // block-layout owned region
+	realBuf  []float64    // x-pencil real field
+	comp     []complex128 // half-spectrum gradient component
+
+	// Persistent pool-dispatch bodies for the k-space loops; per-call
+	// parameters (the spectrum slice, the gradient axis) live in the fields
+	// below, published to the workers by the pool's channel send, so a
+	// steady-state Solve allocates nothing.
+	spec     []complex128
+	gradD    int
+	kernBody func(lo, hi int)
+	gradBody func(lo, hi int)
 }
 
 // NewPoisson builds the solver. Collective over comm.
@@ -50,39 +82,104 @@ func NewPoisson(c *mpi.Comm, dec *grid.Decomp, opts Options) *Poisson {
 	} else {
 		pen = pfft.NewAuto(c, n)
 	}
-	p := &Poisson{comm: c, dec: dec, pen: pen, opts: opts}
+	p := &Poisson{comm: c, dec: dec, pen: pen, opts: opts, pool: opts.Pool}
+	pen.SetPool(p.pool)
+
+	p.kbox = pen.LocalZR()
+	nk := p.kbox.Count()
+	p.kernel = make([]float64, nk)
+	pen.ForEachKR(func(mx, my, mz, idx int) {
+		p.kernel[idx] = p.kernelAt(mx, my, mz)
+	})
 	for d := 0; d < 3; d++ {
 		p.dTab[d] = make([]float64, n[d])
 		for m := 0; m < n[d]; m++ {
 			p.dTab[d][m] = GradSL4(KMode(m, n[d]))
 		}
 	}
-	coupling := 1.5 * opts.OmegaM
-	p.kernel = make([]float64, pen.LocalZ().Count())
-	pen.ForEachK(func(mx, my, mz, idx int) {
-		if mx == 0 && my == 0 && mz == 0 {
-			p.kernel[idx] = 0 // zero the DC mode: mean density sources nothing
-			return
+
+	me := c.Rank()
+	p.toPen = pfft.NewRedistributor[float64](c, dec.Layout(), pen.LayoutX())
+	p.fromPen = pfft.NewRedistributor[float64](c, pen.LayoutX(), dec.Layout())
+	p.ownedBuf = make([]float64, dec.Layout().Boxes[me].Count())
+	p.realBuf = make([]float64, pen.LocalX().Count())
+	p.comp = make([]complex128, nk)
+	p.kernBody = func(lo, hi int) {
+		spec, kern := p.spec, p.kernel
+		for i := lo; i < hi; i++ {
+			v := spec[i]
+			k := kern[i]
+			spec[i] = complex(real(v)*k, imag(v)*k)
 		}
-		kx := KMode(mx, n[0])
-		ky := KMode(my, n[1])
-		kz := KMode(mz, n[2])
-		g := 1 / Influence6(kx, ky, kz)
-		f := 1.0
-		if p.opts.Filter {
-			kr := math.Sqrt(kx*kx + ky*ky + kz*kz)
-			f = Filter(kr, p.opts.Sigma, p.opts.Ns)
-		} else if p.opts.Deconvolve {
-			w := sinc(kx/2) * sinc(ky/2) * sinc(kz/2)
-			f = 1 / (w * w * w * w)
+	}
+	p.gradBody = func(lo, hi int) {
+		// acceleration = −∂ψ ↔ −i·D(k)·ψ̂. The half-spectrum z-pencil
+		// stores z fastest, then y, then x, so the axis mode falls out of
+		// the flat index by div/mod against the local box shape.
+		spec, comp, dt := p.spec, p.comp, p.dTab[p.gradD]
+		sy, sz := p.kbox.Size(1), p.kbox.Size(2)
+		switch p.gradD {
+		case 0:
+			lo0 := p.kbox.Lo[0]
+			for i := lo; i < hi; i++ {
+				v := spec[i]
+				dk := dt[i/(sy*sz)+lo0]
+				comp[i] = complex(imag(v)*dk, -real(v)*dk)
+			}
+		case 1:
+			lo1 := p.kbox.Lo[1]
+			for i := lo; i < hi; i++ {
+				v := spec[i]
+				dk := dt[(i/sz)%sy+lo1]
+				comp[i] = complex(imag(v)*dk, -real(v)*dk)
+			}
+		default:
+			lo2 := p.kbox.Lo[2]
+			for i := lo; i < hi; i++ {
+				v := spec[i]
+				dk := dt[i%sz+lo2]
+				comp[i] = complex(imag(v)*dk, -real(v)*dk)
+			}
 		}
-		p.kernel[idx] = coupling * f * g
-	})
+	}
 	return p
+}
+
+// kernelAt composes the k-space Green's function at global mode (mx,my,mz):
+// coupling × filter (or deconvolution) × inverse influence function, with
+// the DC mode zeroed (mean density sources nothing).
+func (p *Poisson) kernelAt(mx, my, mz int) float64 {
+	if mx == 0 && my == 0 && mz == 0 {
+		return 0
+	}
+	n := p.dec.N
+	kx := KMode(mx, n[0])
+	ky := KMode(my, n[1])
+	kz := KMode(mz, n[2])
+	g := 1 / Influence6(kx, ky, kz)
+	f := 1.0
+	if p.opts.Filter {
+		kr := math.Sqrt(kx*kx + ky*ky + kz*kz)
+		f = Filter(kr, p.opts.Sigma, p.opts.Ns)
+	} else if p.opts.Deconvolve {
+		w := sinc(kx/2) * sinc(ky/2) * sinc(kz/2)
+		f = 1 / (w * w * w * w)
+	}
+	return 1.5 * p.opts.OmegaM * f * g
 }
 
 // Pencil exposes the underlying distributed FFT (for benchmarks).
 func (p *Poisson) Pencil() *pfft.Pencil { return p.pen }
+
+// parFor shards a per-element-independent loop over the pool, or runs it
+// inline when no pool is attached.
+func (p *Poisson) parFor(n int, body func(lo, hi int)) {
+	if p.pool != nil {
+		p.pool.For(n, body)
+		return
+	}
+	body(0, n)
+}
 
 // Solve computes the acceleration field −∇ψ with ∇²ψ = (3/2)Ωm·δ from the
 // deposited density (rho must already have ghost contributions folded in).
@@ -90,22 +187,70 @@ func (p *Poisson) Pencil() *pfft.Pencil { return p.pen }
 // regions; the caller fills ghosts afterwards). Collective over comm.
 func (p *Poisson) Solve(rho *grid.Field, acc *[3]*grid.Field) {
 	psi := p.forwardPotential(rho)
+	for d := 0; d < 3; d++ {
+		p.spec, p.gradD = psi, d
+		p.parFor(len(psi), p.gradBody)
+		p.pen.InverseReal(p.comp, p.realBuf)
+		p.fromPen.Run(p.realBuf, p.ownedBuf)
+		acc[d].SetOwned(p.ownedBuf)
+	}
+	p.spec = nil
+}
+
+// SolvePotential computes the scalar potential ψ itself (diagnostics and
+// force-matching; the short-range kernel fit samples PM forces instead).
+func (p *Poisson) SolvePotential(rho *grid.Field, out *grid.Field) {
+	psi := p.forwardPotential(rho)
+	p.pen.InverseReal(psi, p.realBuf)
+	p.fromPen.Run(p.realBuf, p.ownedBuf)
+	out.SetOwned(p.ownedBuf)
+}
+
+// forwardPotential moves the density into x-pencils, runs the real-to-
+// complex forward transform (Hermitian symmetry halves the transform and
+// all k-space work on the purely real field), and applies the composed
+// kernel, returning ψ̂ in the half-spectrum z-pencil layout. The returned
+// slice is pencil-plan scratch: it stays valid through the gradient
+// inverses, which only touch the y/x-stage buffers.
+func (p *Poisson) forwardPotential(rho *grid.Field) []complex128 {
+	p.ownedBuf = rho.OwnedInto(p.ownedBuf)
+	p.toPen.Run(p.ownedBuf, p.realBuf)
+	spec := p.pen.ForwardReal(p.realBuf)
+	p.spec = spec
+	p.parFor(len(spec), p.kernBody)
+	return spec
+}
+
+// solveReference is the pre-plan implementation — full complex transforms,
+// one-shot redistributions, per-call allocation — retained as the pinned
+// equivalence oracle for the planned r2c pipeline (see spectral_test.go).
+func (p *Poisson) solveReference(rho *grid.Field, acc *[3]*grid.Field) {
+	owned := rho.Owned()
+	moved := pfft.Redistribute(p.comm, owned, p.dec.Layout(), p.pen.LayoutX())
+	data := make([]complex128, len(moved))
+	for i, v := range moved {
+		data[i] = complex(v, 0)
+	}
+	spec := p.pen.Forward(data)
+	psi := make([]complex128, len(spec))
+	p.pen.ForEachK(func(mx, my, mz, idx int) {
+		psi[idx] = spec[idx] * complex(p.kernelAt(mx, my, mz), 0)
+	})
+	n := p.dec.N
 	blockLay := p.dec.Layout()
 	penXLay := p.pen.LayoutX()
 	for d := 0; d < 3; d++ {
 		comp := make([]complex128, len(psi))
-		dt := p.dTab[d]
 		p.pen.ForEachK(func(mx, my, mz, idx int) {
 			var dk float64
 			switch d {
 			case 0:
-				dk = dt[mx]
+				dk = GradSL4(KMode(mx, n[0]))
 			case 1:
-				dk = dt[my]
+				dk = GradSL4(KMode(my, n[1]))
 			default:
-				dk = dt[mz]
+				dk = GradSL4(KMode(mz, n[2]))
 			}
-			// acceleration = −∂ψ ↔ −i·D(k)·ψ̂
 			v := psi[idx]
 			comp[idx] = complex(imag(v)*dk, -real(v)*dk)
 		})
@@ -117,33 +262,4 @@ func (p *Poisson) Solve(rho *grid.Field, acc *[3]*grid.Field) {
 		back := pfft.Redistribute(p.comm, vals, penXLay, blockLay)
 		acc[d].SetOwned(back)
 	}
-}
-
-// SolvePotential computes the scalar potential ψ itself (diagnostics and
-// force-matching; the short-range kernel fit samples PM forces instead).
-func (p *Poisson) SolvePotential(rho *grid.Field, out *grid.Field) {
-	psi := p.forwardPotential(rho)
-	rs := p.pen.Inverse(psi)
-	vals := make([]float64, len(rs))
-	for i, v := range rs {
-		vals[i] = real(v)
-	}
-	back := pfft.Redistribute(p.comm, vals, p.pen.LayoutX(), p.dec.Layout())
-	out.SetOwned(back)
-}
-
-// forwardPotential deposits rho through the FFT and applies the composed
-// kernel, returning ψ̂ in the z-pencil layout.
-func (p *Poisson) forwardPotential(rho *grid.Field) []complex128 {
-	owned := rho.Owned()
-	moved := pfft.Redistribute(p.comm, owned, p.dec.Layout(), p.pen.LayoutX())
-	data := make([]complex128, len(moved))
-	for i, v := range moved {
-		data[i] = complex(v, 0)
-	}
-	spec := p.pen.Forward(data)
-	for i := range spec {
-		spec[i] *= complex(p.kernel[i], 0)
-	}
-	return spec
 }
