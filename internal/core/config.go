@@ -67,6 +67,18 @@ type Config struct {
 	FitGridN      int     // grid used for the kernel fit (default 32)
 	NTrees        int     // RCB trees per rank (default 1; §VI load balancing)
 	ThreadedCIC   bool    // threaded forward-CIC deposit (§VI)
+
+	// DisableOverlap forces fully synchronous communication: every exchange
+	// completes inside the call that posted it. By default the planned
+	// Begin/End exchanges overlap communication with computation — the
+	// density ghost-accumulate hides the deferred overload refresh, the
+	// three acceleration-component fills pipeline against interpolation,
+	// and Run defers the end-of-step refresh completion past the step
+	// callback into the next step's long-range kick. Every overlap is
+	// bitwise neutral; the only visible contract is that a Run callback
+	// must not read Dom.Passive (it is mid-refresh there — call
+	// Simulation.FinishRefresh first, or set DisableOverlap).
+	DisableOverlap bool
 }
 
 // WithDefaults returns the config with defaults filled in.

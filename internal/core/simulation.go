@@ -59,6 +59,12 @@ type Simulation struct {
 	scratch shortScratch
 	kickBuf []float32
 	pool    *par.Pool
+
+	// refreshPending marks an overload refresh whose Begin has been posted
+	// but whose End is deferred (overlapped stepping); fillOps holds the
+	// in-flight acceleration-component ghost fills.
+	refreshPending bool
+	fillOps        [3]*grid.GhostOp
 }
 
 // shortScratch holds the buffers and solver structures kickShort reuses
@@ -173,8 +179,21 @@ func (s *Simulation) Z() float64 { return cosmology.ZFromA(s.A) }
 
 // Step advances the simulation by one full long-range step (two PM kicks
 // around SubCycles short-range SKS sub-cycles), then re-establishes domain
-// ownership and overloading. Collective.
+// ownership and overloading. Collective. Step is fully synchronous: the
+// end-of-step exchange completes before it returns (Run overlaps it with
+// the step callback instead).
 func (s *Simulation) Step() error {
+	if err := s.step(); err != nil {
+		return err
+	}
+	s.FinishRefresh()
+	return nil
+}
+
+// step runs the integrator ops and posts the end-of-step exchange, leaving
+// the refresh completion pending (unless overlap is disabled) so callers
+// can hide it behind analysis or the next step's long-range kick.
+func (s *Simulation) step() error {
 	if s.StepIndex >= s.sched.Steps {
 		return fmt.Errorf("core: all %d steps already taken", s.sched.Steps)
 	}
@@ -185,37 +204,67 @@ func (s *Simulation) Step() error {
 		case timestep.KickLong:
 			s.kickLong(op.W)
 		case timestep.KickShort:
+			s.FinishRefresh() // no-op except before the first passive read
 			s.kickShort(op.W)
 			s.SubstepsDone++
 		case timestep.Stream:
+			s.FinishRefresh()
 			s.stream(op.W)
 		}
 	}
-	s.Timers.Time("exchange", func() {
-		s.Dom.Migrate()
-		s.Dom.Refresh()
-	})
+	// Migration cannot overlap anything (the refresh classification needs
+	// the arrived actives), but the refresh wait can: post it here and let
+	// the caller run analysis — or the next deposit+solve — before the End.
+	s.Timers.Time(machine.CommPost, func() { s.Dom.MigrateBegin() })
+	s.Timers.Time(machine.CommWait, func() { s.Dom.MigrateEnd() })
+	s.Timers.Time(machine.CommPost, func() { s.Dom.RefreshBegin() })
+	s.refreshPending = true
+	if s.Cfg.DisableOverlap {
+		s.FinishRefresh()
+	}
 	s.StepIndex++
 	s.A = a1
 	return nil
 }
 
+// FinishRefresh completes a pending overlapped overload refresh. It is a
+// no-op when none is in flight; Run callbacks that read Dom.Passive must
+// call it first.
+func (s *Simulation) FinishRefresh() {
+	if !s.refreshPending {
+		return
+	}
+	s.Timers.Time(machine.CommWait, func() { s.Dom.RefreshEnd() })
+	s.refreshPending = false
+}
+
 // Run advances through all remaining steps, invoking cb (if non-nil) after
-// every step.
+// every step. Unless Cfg.DisableOverlap is set, the end-of-step overload
+// refresh stays in flight while cb runs and completes behind the next
+// step's density deposit, so the exchange wait is hidden twice over; cb may
+// read actives freely but must call FinishRefresh before touching
+// Dom.Passive.
 func (s *Simulation) Run(cb func(step int, a float64)) error {
 	for s.StepIndex < s.sched.Steps {
-		if err := s.Step(); err != nil {
+		if err := s.step(); err != nil {
 			return err
 		}
 		if cb != nil {
 			cb(s.StepIndex, s.A)
 		}
 	}
+	s.FinishRefresh()
 	return nil
 }
 
 // kickLong deposits the density, runs the spectral Poisson solve, and
-// applies p += w·a_pm to actives and passives.
+// applies p += w·a_pm to actives and passives. Communication is posted
+// early and completed late: the density ghost-accumulate flies while a
+// deferred overload refresh unpacks, and the three acceleration-component
+// fills are all posted before any completes, so component d's wait overlaps
+// the interpolation of components < d. Every overlap is bitwise neutral
+// (the deposit needs only actives; each fill touches only its own field;
+// each momentum component updates its own array).
 func (s *Simulation) kickLong(w float64) {
 	s.Timers.Time("cic", func() {
 		s.rho.Fill(0)
@@ -226,7 +275,12 @@ func (s *Simulation) kickLong(w float64) {
 		}
 		s.Counters.CICOps += int64(s.Dom.Active.Len())
 	})
-	s.Timers.Time("comm", func() { s.rhoEx.Accumulate(s.rho) })
+	var rhoOp *grid.GhostOp
+	s.Timers.Time(machine.CommPost, func() { rhoOp = s.rhoEx.AccumulateBegin(s.rho) })
+	// Complete a refresh deferred from the previous step while the ghost
+	// sums are in flight (first passive read of this step is below).
+	s.FinishRefresh()
+	s.Timers.Time(machine.CommWait, func() { rhoOp.End() })
 	s.Timers.Time("fft", func() {
 		s.poisson.Solve(s.rho, &s.acc)
 		// One r2c forward + three c2r gradient inverses; Hermitian symmetry
@@ -234,23 +288,36 @@ func (s *Simulation) kickLong(w float64) {
 		// equivalents.
 		s.Counters.FFT3D += 2
 	})
-	s.Timers.Time("comm", func() {
+	s.Timers.Time(machine.CommPost, func() {
 		for d := 0; d < 3; d++ {
-			s.accEx[d].Fill(s.acc[d])
+			s.fillOps[d] = s.accEx[d].FillBegin(s.acc[d])
 		}
 	})
-	s.Timers.Time("cic", func() {
-		s.applyGridKick(&s.Dom.Active, w)
-		s.applyGridKick(&s.Dom.Passive, w)
-		s.Counters.CICOps += 3 * int64(s.Dom.Active.Len()+s.Dom.Passive.Len())
-	})
+	for d := 0; d < 3; d++ {
+		s.Timers.Time(machine.CommWait, func() { s.fillOps[d].End() })
+		s.fillOps[d] = nil
+		s.Timers.Time("cic", func() {
+			s.applyGridKickComponent(&s.Dom.Active, d, w)
+			s.applyGridKickComponent(&s.Dom.Passive, d, w)
+		})
+	}
+	s.Counters.CICOps += 3 * int64(s.Dom.Active.Len()+s.Dom.Passive.Len())
 }
 
-// applyGridKick interpolates the PM acceleration and updates momenta. Both
-// the CIC gather and the momentum update are threaded (per-particle
-// independent, so the result is identical to the serial path), and the
-// interpolation buffer is persistent.
+// applyGridKick interpolates the PM acceleration and updates momenta for
+// all three components (the non-pipelined form, kept for benchmarks and
+// callers outside the overlapped step).
 func (s *Simulation) applyGridKick(p *domain.Particles, w float64) {
+	for d := 0; d < 3; d++ {
+		s.applyGridKickComponent(p, d, w)
+	}
+}
+
+// applyGridKickComponent interpolates one acceleration component and
+// updates that momentum component. Both the CIC gather and the momentum
+// update are threaded (per-particle independent, so the result is identical
+// to the serial path), and the interpolation buffer is persistent.
+func (s *Simulation) applyGridKickComponent(p *domain.Particles, d int, w float64) {
 	n := p.Len()
 	if n == 0 {
 		return
@@ -259,16 +326,13 @@ func (s *Simulation) applyGridKick(p *domain.Particles, w float64) {
 		s.kickBuf = make([]float32, n)
 	}
 	buf := s.kickBuf[:n]
-	vel := [3][]float32{p.Vx, p.Vy, p.Vz}
-	for d := 0; d < 3; d++ {
-		grid.InterpCICParallel(s.acc[d], p.X, p.Y, p.Z, buf, w, s.pool)
-		v := vel[d]
-		s.pool.For(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				v[i] += buf[i]
-			}
-		})
-	}
+	grid.InterpCICParallel(s.acc[d], p.X, p.Y, p.Z, buf, w, s.pool)
+	v := [3][]float32{p.Vx, p.Vy, p.Vz}[d]
+	s.pool.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v[i] += buf[i]
+		}
+	})
 }
 
 // kickShort evaluates the short-range force with the configured backend
@@ -437,8 +501,10 @@ func (s *Simulation) PowerSpectrum(bins int, subtractShot bool) *analysis.PowerS
 }
 
 // FindHalos runs the overload-aware FOF finder; b is the linking length as
-// a fraction of the mean interparticle spacing (0.2 is standard).
+// a fraction of the mean interparticle spacing (0.2 is standard). It reads
+// the passive replicas, so it completes any overlapped refresh first.
 func (s *Simulation) FindHalos(b float64, minN int) []analysis.Halo {
+	s.FinishRefresh()
 	spacing := float64(s.Cfg.NGrid) / float64(s.Cfg.NParticles)
 	return analysis.FindHalos(s.Dom, s.Dec, b*spacing, minN, s.ParticleMassMsun)
 }

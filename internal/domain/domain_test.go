@@ -68,6 +68,44 @@ func TestWrapPos(t *testing.T) {
 	}
 }
 
+// TestWrapPosLargeExcursion: the mod-based reduction must stay O(1) and
+// exact for excursions of many box lengths (the old loop walked one box
+// length per iteration), must agree bitwise with a single add/subtract for
+// single wraps, and must always land in [0, n).
+func TestWrapPosLargeExcursion(t *testing.T) {
+	// Reference: the pre-refactor loop reduction.
+	loopWrap := func(x float32, n int) float32 {
+		fn := float32(n)
+		for x < 0 {
+			x += fn
+		}
+		for x >= fn {
+			x -= fn
+		}
+		return x
+	}
+	for _, n := range []int{8, 12, 16} {
+		// Bitwise agreement with the loop over moderate excursions.
+		for x := float32(-4 * n); x < float32(4*n); x += 0.37 {
+			if got, want := wrapPos(x, n), loopWrap(x, n); got != want {
+				t.Fatalf("wrapPos(%g, %d) = %g, loop reference %g", x, n, got, want)
+			}
+		}
+		// Extreme excursions (the loop would take ~|x|/n iterations).
+		for _, x := range []float32{-1e7, -3.5e6, 2.9e6, 1e7, -1e3 * float32(n), 1e3*float32(n) + 0.25} {
+			got := wrapPos(x, n)
+			if got < 0 || got >= float32(n) {
+				t.Errorf("wrapPos(%g, %d) = %g outside [0, %d)", x, n, got, n)
+			}
+		}
+		// The rounded-up-remainder guard: a tiny negative x whose remainder
+		// plus n rounds to n must clamp into range.
+		if got := wrapPos(-1e-15, n); got < 0 || got >= float32(n) {
+			t.Errorf("wrapPos(-1e-15, %d) = %g outside [0, %d)", n, got, n)
+		}
+	}
+}
+
 // scatterLattice fills each rank's Active set with the lattice sites it owns.
 func scatterLattice(d *Domain, npside int, n [3]int) {
 	step := float64(n[0]) / float64(npside)

@@ -1,0 +1,83 @@
+package domain
+
+import (
+	"math/rand"
+	"testing"
+
+	"hacc/internal/grid"
+	"hacc/internal/mpi"
+)
+
+// benchExchange measures one warm Migrate+Refresh round per iteration and
+// reports messages/op alongside allocs/op (the planned path's message count
+// is the stencil-neighbor column of the DESIGN.md table; the dense oracle
+// shows the O(P²) baseline).
+func benchExchange(b *testing.B, ranks int, dense bool) {
+	n := [3]int{16, 16, 16}
+	w := mpi.NewWorld(ranks)
+	b.ReportAllocs()
+	var msgs int64
+	err := w.Run(func(c *mpi.Comm) {
+		dec := grid.NewDecomp(n, ranks)
+		d := New(c, dec, 2.5)
+		scatterLattice(d, 16, n)
+		rng := rand.New(rand.NewSource(int64(c.Rank() + 1)))
+		jiggle := func() {
+			for i := 0; i < d.Active.Len(); i++ {
+				d.Active.X[i] += float32(rng.NormFloat64() * 0.3)
+				d.Active.Y[i] += float32(rng.NormFloat64() * 0.3)
+				d.Active.Z[i] += float32(rng.NormFloat64() * 0.3)
+			}
+		}
+		round := func() {
+			if dense {
+				d.MigrateDense()
+				d.RefreshDense()
+			} else {
+				d.Migrate()
+				d.Refresh()
+			}
+		}
+		// Warm the plan-owned buffers before the timed loop.
+		jiggle()
+		round()
+		mpi.Barrier(c)
+		if c.Rank() == 0 {
+			b.ResetTimer()
+			msgs = -w.MsgsSent.Load()
+		}
+		for i := 0; i < b.N; i++ {
+			jiggle()
+			round()
+		}
+		mpi.Barrier(c)
+		if c.Rank() == 0 {
+			msgs += w.MsgsSent.Load()
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Subtract the closing barrier's traffic (the opening one lands before
+	// the counter snapshot) and normalize; the residual straggler error is
+	// a few messages per run, amortized over b.N.
+	logp := 0
+	for q := 1; q < ranks; q *= 2 {
+		logp++
+	}
+	msgs -= int64(ranks * logp)
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+}
+
+// BenchmarkMigrateRefresh pins the warm planned exchange: on one rank it
+// must report 0 allocs/op (all state plan-owned; multi-rank runs add only
+// the mpi runtime's per-message copies, which model the network), and the
+// planned message column must sit at the stencil count while the dense
+// oracle scales O(P²).
+func BenchmarkMigrateRefresh(b *testing.B) {
+	b.Run("planned/ranks1", func(b *testing.B) { benchExchange(b, 1, false) })
+	b.Run("planned/ranks4", func(b *testing.B) { benchExchange(b, 4, false) })
+	b.Run("planned/ranks8", func(b *testing.B) { benchExchange(b, 8, false) })
+	b.Run("dense/ranks4", func(b *testing.B) { benchExchange(b, 4, true) })
+	b.Run("dense/ranks8", func(b *testing.B) { benchExchange(b, 8, true) })
+}

@@ -1,0 +1,223 @@
+package domain
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hacc/internal/grid"
+	"hacc/internal/mpi"
+)
+
+// sameParticles compares two particle stores bitwise (positions, momenta,
+// IDs, and ordering).
+func sameParticles(t *testing.T, what string, a, b *Particles) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Errorf("%s: length %d vs %d", what, a.Len(), b.Len())
+		return
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.X[i] != b.X[i] || a.Y[i] != b.Y[i] || a.Z[i] != b.Z[i] ||
+			a.Vx[i] != b.Vx[i] || a.Vy[i] != b.Vy[i] || a.Vz[i] != b.Vz[i] ||
+			a.ID[i] != b.ID[i] {
+			t.Errorf("%s: particle %d differs: (%v,%v,%v id=%d) vs (%v,%v,%v id=%d)",
+				what, i, a.X[i], a.Y[i], a.Z[i], a.ID[i], b.X[i], b.Y[i], b.Z[i], b.ID[i])
+			return
+		}
+	}
+}
+
+// TestPlannedExchangeMatchesDense evolves two identical domains side by
+// side — one through the planned neighbor-leg exchange, one through the
+// dense all-to-all oracle — under the same random walk, and requires the
+// active and passive sets to stay bitwise identical (ordering included)
+// across several Migrate+Refresh rounds, including periodic shifts.
+func TestPlannedExchangeMatchesDense(t *testing.T) {
+	n := [3]int{16, 16, 16}
+	for _, p := range []int{1, 2, 4, 8} {
+		err := mpi.Run(p, func(c *mpi.Comm) {
+			dec := grid.NewDecomp(n, p)
+			planned := New(c, dec, 2.5)
+			dense := New(c, dec, 2.5)
+			scatterLattice(planned, 16, n)
+			scatterLattice(dense, 16, n)
+			rng := rand.New(rand.NewSource(int64(100*p + c.Rank())))
+			for step := 0; step < 3; step++ {
+				for i := 0; i < planned.Active.Len(); i++ {
+					dx := float32(rng.NormFloat64() * 1.5)
+					dy := float32(rng.NormFloat64() * 1.5)
+					dz := float32(rng.NormFloat64() * 1.5)
+					planned.Active.X[i] += dx
+					planned.Active.Y[i] += dy
+					planned.Active.Z[i] += dz
+					dense.Active.X[i] += dx
+					dense.Active.Y[i] += dy
+					dense.Active.Z[i] += dz
+				}
+				planned.Migrate()
+				dense.MigrateDense()
+				sameParticles(t, fmt.Sprintf("p=%d step=%d active", p, step), &planned.Active, &dense.Active)
+				planned.Refresh()
+				dense.RefreshDense()
+				sameParticles(t, fmt.Sprintf("p=%d step=%d passive", p, step), &planned.Passive, &dense.Passive)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPlannedExchangeBeginEndSplit pins that a deferred RefreshEnd (the
+// overlap window core uses) produces the same passive set as the immediate
+// form, and that the passive set keeps its stale contents inside the window.
+func TestPlannedExchangeBeginEndSplit(t *testing.T) {
+	n := [3]int{16, 16, 16}
+	err := mpi.Run(4, func(c *mpi.Comm) {
+		dec := grid.NewDecomp(n, 4)
+		split := New(c, dec, 2.5)
+		whole := New(c, dec, 2.5)
+		scatterLattice(split, 16, n)
+		scatterLattice(whole, 16, n)
+		rng := rand.New(rand.NewSource(int64(c.Rank() + 1)))
+		for step := 0; step < 2; step++ {
+			for i := 0; i < split.Active.Len(); i++ {
+				dx := float32(rng.NormFloat64())
+				dy := float32(rng.NormFloat64())
+				dz := float32(rng.NormFloat64())
+				split.Active.X[i] += dx
+				split.Active.Y[i] += dy
+				split.Active.Z[i] += dz
+				whole.Active.X[i] += dx
+				whole.Active.Y[i] += dy
+				whole.Active.Z[i] += dz
+			}
+			split.MigrateBegin()
+			split.MigrateEnd()
+			whole.Migrate()
+			stale := split.Passive.Len()
+			split.RefreshBegin()
+			if split.Passive.Len() != stale {
+				t.Errorf("RefreshBegin mutated the passive set (len %d -> %d)", stale, split.Passive.Len())
+			}
+			split.RefreshEnd()
+			whole.Refresh()
+			sameParticles(t, fmt.Sprintf("step=%d active", step), &split.Active, &whole.Active)
+			sameParticles(t, fmt.Sprintf("step=%d passive", step), &split.Passive, &whole.Passive)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExchangeMessageCountStencil is the message-count regression: on a
+// 64-rank world (4×4×4 sub-boxes, wider than the stencil reach) a planned
+// Migrate or Refresh sends at most one message per 26-stencil neighbor per
+// rank — ≤ 26·P per collective — while the dense oracle posts the full
+// P·(P−1) all-to-all twice (floats and IDs). Counted via the mpi world's
+// message instrumentation.
+func TestExchangeMessageCountStencil(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-rank worlds; skipped under -short (race CI)")
+	}
+	const p = 64
+	n := [3]int{32, 32, 32}
+	// Run one Migrate+Refresh round per world (plan construction and the
+	// particle walk are communication-free) and read the world's total
+	// message counter after all ranks have joined — a deterministic count
+	// with no in-flight instrumentation races.
+	countRound := func(dense bool) (msgs int64, legs int) {
+		w := mpi.NewWorld(p)
+		err := w.Run(func(c *mpi.Comm) {
+			dec := grid.NewDecomp(n, p)
+			d := New(c, dec, 2.5)
+			scatterLattice(d, 32, n)
+			rng := rand.New(rand.NewSource(int64(c.Rank())))
+			for i := 0; i < d.Active.Len(); i++ {
+				d.Active.X[i] += float32(rng.NormFloat64())
+				d.Active.Y[i] += float32(rng.NormFloat64())
+				d.Active.Z[i] += float32(rng.NormFloat64())
+			}
+			if c.Rank() == 0 {
+				legs = d.Plan().NumLegs()
+			}
+			if dense {
+				d.MigrateDense()
+				d.RefreshDense()
+			} else {
+				d.Migrate()
+				d.Refresh()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.MsgsSent.Load(), legs
+	}
+	planned, legs := countRound(false)
+	dense, _ := countRound(true)
+	if legs != 26 {
+		t.Errorf("plan legs = %d, want the 26-stencil on a 4x4x4 process grid", legs)
+	}
+	// One packed message per leg per collective, two collectives per step.
+	bound := int64(2 * 26 * p)
+	if planned <= 0 || planned > bound {
+		t.Errorf("planned Migrate+Refresh sent %d messages, want (0, %d]", planned, bound)
+	}
+	// Dense: two all-to-alls (floats + IDs) per collective, two collectives.
+	denseWant := int64(2 * 2 * p * (p - 1))
+	if dense != denseWant {
+		t.Errorf("dense Migrate+Refresh sent %d messages, want %d", dense, denseWant)
+	}
+	if planned*2 >= dense {
+		t.Errorf("planned exchange (%d msgs) not well below dense (%d)", planned, dense)
+	}
+}
+
+// TestExchangeWarmAllocs pins the steady-state allocation count of the
+// planned exchange at zero: after one warm-up round, Migrate+Refresh touch
+// only plan-owned buffers. Measured on one rank, where no mpi messages
+// model the network (multi-rank runs add only the runtime's per-message
+// copies, as with the spectral plans).
+func TestExchangeWarmAllocs(t *testing.T) {
+	n := [3]int{16, 16, 16}
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		dec := grid.NewDecomp(n, 1)
+		d := New(c, dec, 2.5)
+		scatterLattice(d, 16, n)
+		d.Migrate()
+		d.Refresh()
+		allocs := testing.AllocsPerRun(10, func() {
+			d.Migrate()
+			d.Refresh()
+		})
+		if allocs != 0 {
+			t.Errorf("warm Migrate+Refresh allocate %.1f allocs/op, want 0", allocs)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrateStrayPanics: a particle teleported beyond the neighbor stencil
+// must be reported loudly rather than silently lost.
+func TestMigrateStrayPanics(t *testing.T) {
+	const p = 64
+	n := [3]int{64, 64, 64}
+	err := mpi.Run(p, func(c *mpi.Comm) {
+		dec := grid.NewDecomp(n, p)
+		d := New(c, dec, 2)
+		if c.Rank() == 0 {
+			// Rank 0 owns a corner box; a particle at the far corner is
+			// beyond any neighbor's reach on a 4x4x4 grid of 16-cell boxes.
+			d.Active.Append(40, 40, 40, 0, 0, 0, 1)
+		}
+		d.Migrate()
+	})
+	if err == nil {
+		t.Fatal("expected a panic-derived error for a stray particle")
+	}
+}

@@ -29,9 +29,15 @@ type Domain struct {
 
 	catches []catch // where my actives must be replicated
 
-	// Per-destination communication scratch, reused across steps so the
-	// migrate/refresh path stops allocating once warm (mpi.Send copies
+	// plan is the persistent neighbor-stencil exchange plan behind
+	// Migrate/Refresh (see exchange.go). The dense all-to-all path below
+	// (MigrateDense/RefreshDense) is retained as the equivalence oracle.
+	plan *ExchangePlan
+
+	// Per-destination communication scratch for the dense oracle path,
+	// reused across steps so it stops allocating once warm (mpi.Send copies
 	// outgoing payloads, so reusing these between collectives is safe).
+	// owners is shared with the planned path.
 	owners []int
 	dest   [][]int
 	sendF  [][]float32
@@ -84,21 +90,8 @@ func New(c *mpi.Comm, dec *grid.Decomp, overload float64) *Domain {
 						continue
 					}
 					shift := [3]float64{float64(sx * n[0]), float64(sy * n[1]), float64(sz * n[2])}
-					var cb boxF
-					empty := false
-					for i := 0; i < 3; i++ {
-						lo := float64(rb.Lo[i]) - overload - shift[i]
-						hi := float64(rb.Hi[i]) + overload - shift[i]
-						lo = math.Max(lo, float64(d.Box.Lo[i]))
-						hi = math.Min(hi, float64(d.Box.Hi[i]))
-						if hi <= lo {
-							empty = true
-							break
-						}
-						cb.lo[i] = lo
-						cb.hi[i] = hi
-					}
-					if empty {
+					cb, ok := overlapWithin(d.Box, rb, overload, shift)
+					if !ok {
 						continue
 					}
 					d.catches = append(d.catches, catch{
@@ -110,19 +103,53 @@ func New(c *mpi.Comm, dec *grid.Decomp, overload float64) *Domain {
 			}
 		}
 	}
+	d.plan = newExchangePlan(d)
 	return d
 }
 
-// wrapPos reduces a coordinate into [0, n).
+// overlapWithin returns the part of `mine` that lies within `margin` cells
+// of rb shifted into my frame by shift — mine ∩ (expand(rb, margin) −
+// shift) — and whether it is non-empty. Shared by the catch construction
+// (margin = overload) and the exchange plan's neighbor-stencil test
+// (margin = overload+2), which keeps the plan's leg set structurally a
+// superset of the catch geometry.
+func overlapWithin(mine, rb pfft.Box, margin float64, shift [3]float64) (boxF, bool) {
+	var cb boxF
+	for i := 0; i < 3; i++ {
+		lo := float64(rb.Lo[i]) - margin - shift[i]
+		hi := float64(rb.Hi[i]) + margin - shift[i]
+		lo = math.Max(lo, float64(mine.Lo[i]))
+		hi = math.Min(hi, float64(mine.Hi[i]))
+		if hi <= lo {
+			return boxF{}, false
+		}
+		cb.lo[i] = lo
+		cb.hi[i] = hi
+	}
+	return cb, true
+}
+
+// Plan returns the persistent neighbor-stencil exchange plan.
+func (d *Domain) Plan() *ExchangePlan { return d.plan }
+
+// wrapPos reduces a coordinate into [0, n). In-range values (the vast
+// majority) return untouched; out-of-range values take a single mod-based
+// reduction, so arbitrarily fast particles cost O(1) instead of the old
+// one-box-length-per-iteration loop. For single-box excursions the float64
+// mod rounds to the same float32 as the old single add/subtract.
 func wrapPos(x float32, n int) float32 {
 	fn := float32(n)
-	for x < 0 {
-		x += fn
+	if x >= 0 && x < fn {
+		return x
 	}
-	for x >= fn {
-		x -= fn
+	r := float32(math.Mod(float64(x), float64(n)))
+	if r < 0 {
+		r += fn
 	}
-	return x
+	if r >= fn { // e.g. a tiny negative remainder rounded up to fn
+		r = 0
+	}
+	return r
 }
 
 // commScratch returns the per-destination scratch slices, initialized on
@@ -143,8 +170,25 @@ func (d *Domain) commScratch() (dest [][]int, sendF [][]float32, sendI [][]uint6
 }
 
 // Migrate wraps active positions into the periodic box and transfers
-// particles that left this rank's sub-box to their new owners. Collective.
+// particles that left this rank's sub-box to their new owners over the
+// planned neighbor legs. Collective. Equivalent to
+// MigrateBegin + MigrateEnd.
 func (d *Domain) Migrate() {
+	d.MigrateBegin()
+	d.MigrateEnd()
+}
+
+// Refresh rebuilds the passive (overloaded) particle set from the current
+// active particles of all neighbors over the planned legs, replacing any
+// diverged replicas. Collective. Equivalent to RefreshBegin + RefreshEnd.
+func (d *Domain) Refresh() {
+	d.RefreshBegin()
+	d.RefreshEnd()
+}
+
+// MigrateDense is the legacy dense all-to-all migration, retained as the
+// equivalence oracle for the planned path (O(P²) messages per call).
+func (d *Domain) MigrateDense() {
 	p := d.Comm.Size()
 	a := &d.Active
 	n := d.Dec.N
@@ -195,11 +239,11 @@ func (d *Domain) Migrate() {
 	d.Migrated += moved
 }
 
-// Refresh rebuilds the passive (overloaded) particle set from the current
-// active particles of all neighbors, replacing any diverged replicas.
-// Collective. Active positions must already be canonical (call Migrate
-// first after any position update).
-func (d *Domain) Refresh() {
+// RefreshDense is the legacy dense all-to-all refresh (one full particle
+// scan per catch entry), retained as the equivalence oracle for the planned
+// path. Active positions must already be canonical (call Migrate first
+// after any position update). Collective.
+func (d *Domain) RefreshDense() {
 	p := d.Comm.Size()
 	d.Passive.Reset()
 	_, sendF, sendI := d.commScratch()

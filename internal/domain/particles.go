@@ -6,6 +6,8 @@
 // solver needs no per-step particle communication.
 package domain
 
+import "math"
+
 // Particles is structure-of-arrays particle storage: three position arrays,
 // three velocity (momentum) arrays, and an identifier array. Positions are
 // in global grid units; momenta are p = a²ẋ in grid units per 1/H0 (see
@@ -116,5 +118,47 @@ func (p *Particles) unpack(fl []float32, ids []uint64) {
 	for i, id := range ids {
 		b := fl[6*i:]
 		p.Append(b[0], b[1], b[2], b[3], b[4], b[5], id)
+	}
+}
+
+// packedStride is the wire size of one particle in packed uint64 records:
+// three words of bit-cast float32 pairs (x|y, z|vx, vy|vz) plus the ID.
+// Packing one message per exchange leg (instead of separate float and ID
+// messages) halves the planned exchange's message count; the bit cast is
+// lossless, so packed transfers are bitwise identical to the float path.
+const packedStride = 4
+
+// packParticlesInto appends the selected particles onto dst in packed wire
+// format, shifting positions by shift (same float32 additions as
+// packFloatsInto), and returns the extended slice. Callers reuse dst's
+// capacity across steps.
+func (p *Particles) packParticlesInto(dst []uint64, idx []int32, shift [3]float32) []uint64 {
+	for _, i := range idx {
+		x := math.Float32bits(p.X[i] + shift[0])
+		y := math.Float32bits(p.Y[i] + shift[1])
+		z := math.Float32bits(p.Z[i] + shift[2])
+		vx := math.Float32bits(p.Vx[i])
+		vy := math.Float32bits(p.Vy[i])
+		vz := math.Float32bits(p.Vz[i])
+		dst = append(dst,
+			uint64(x)|uint64(y)<<32,
+			uint64(z)|uint64(vx)<<32,
+			uint64(vy)|uint64(vz)<<32,
+			p.ID[i])
+	}
+	return dst
+}
+
+// unpackParticles appends particles from a packed wire buffer.
+func (p *Particles) unpackParticles(buf []uint64) {
+	for k := 0; k+packedStride <= len(buf); k += packedStride {
+		p.Append(
+			math.Float32frombits(uint32(buf[k])),
+			math.Float32frombits(uint32(buf[k]>>32)),
+			math.Float32frombits(uint32(buf[k+1])),
+			math.Float32frombits(uint32(buf[k+1]>>32)),
+			math.Float32frombits(uint32(buf[k+2])),
+			math.Float32frombits(uint32(buf[k+2]>>32)),
+			buf[k+3])
 	}
 }

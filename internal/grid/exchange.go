@@ -2,12 +2,44 @@ package grid
 
 import (
 	"fmt"
+	"sync"
 
 	"hacc/internal/mpi"
 	"hacc/internal/par"
 )
 
-const tagGhostPlan = 11
+// Ghost traffic tags: every Begin draws a fresh tag from a rolling sequence
+// (advanced identically on all ranks by the collective call order), so
+// several ghost collectives may be in flight at once — e.g. the three
+// acceleration-component Fills pipelined against interpolation — without
+// message mismatches. Each exchanger instance additionally gets its own tag
+// block (instances are built in the same collective order on every rank,
+// so the per-comm numbering agrees): the density and acceleration
+// exchangers of one simulation can never collide even when both have
+// collectives in flight. The grid block 0x200000–0x2fffff is disjoint from
+// the domain exchange's 0x100000–0x1fffff and the pfft redistributor tag.
+const tagGhostBase = 0x200000
+
+var (
+	exIDMu sync.Mutex
+	exIDs  = map[*mpi.Comm]int{}
+)
+
+func nextExchangerID(c *mpi.Comm) int {
+	exIDMu.Lock()
+	defer exIDMu.Unlock()
+	id := exIDs[c]
+	exIDs[c] = id + 1
+	return id
+}
+
+// gLeg is one planned neighbor leg of the ghost exchange: the peer rank plus
+// views of the ghost-slot and owned-cell index lists for that peer.
+type gLeg struct {
+	rank  int
+	ghost []int
+	owned []int
+}
 
 // Exchanger moves ghost-cell data between neighboring ranks of a block
 // decomposition. One plan serves both directions:
@@ -18,21 +50,43 @@ const tagGhostPlan = 11
 //     (e.g. before force interpolation of overloaded particles).
 //
 // The plan is built once per (decomposition, ghost width) and reused every
-// step; only values move afterwards.
+// step; only values move afterwards. Both directions split into Begin (pack
+// + post non-blocking legs) and End (wait + unpack), so callers can overlap
+// the exchange with computation; Accumulate/Fill are the sequential
+// Begin+End compositions, and AccumulateDense/FillDense retain the legacy
+// all-to-all path as the equivalence oracle.
 type Exchanger struct {
 	comm *mpi.Comm
 	// ghostSlots[r] lists my local ghost storage indices whose canonical
 	// cell is owned by rank r; ownedIdx[r] lists my interior storage indices
-	// that rank r's ghost slots mirror (in r's canonical order).
+	// that rank r's ghost slots mirror (in r's canonical order). Dense
+	// (per-rank) form, retained for the oracle; legs holds the planned
+	// neighbor-only view of the same lists.
 	ghostSlots [][]int
 	ownedIdx   [][]int
+	legs       []gLeg
 	// Self-wrap pairs (periodic images landing on the same rank).
 	selfGhost []int
 	selfOwned []int
 
 	// Per-destination send buffers, reused across Accumulate/Fill calls
-	// (mpi.Send copies outgoing payloads, so reuse is safe).
+	// (the eager mpi sends copy outgoing payloads at post time, so the
+	// buffers are free for the next Begin as soon as the posts return).
 	send [][]float64
+
+	id   int
+	seq  int
+	free []*GhostOp
+}
+
+// GhostOp is one in-flight ghost collective, produced by AccumulateBegin or
+// FillBegin and completed by End. Ops are pooled by the exchanger, so the
+// steady state allocates nothing.
+type GhostOp struct {
+	e    *Exchanger
+	f    *Field
+	fill bool
+	reqs []mpi.Request // parallel to e.legs
 }
 
 // NewExchanger builds an exchange plan. Collective over comm; the field f
@@ -42,6 +96,7 @@ func NewExchanger(c *mpi.Comm, d *Decomp, f *Field) *Exchanger {
 	me := c.Rank()
 	e := &Exchanger{
 		comm:       c,
+		id:         nextExchangerID(c),
 		ghostSlots: make([][]int, p),
 		ownedIdx:   make([][]int, p),
 	}
@@ -71,7 +126,8 @@ func NewExchanger(c *mpi.Comm, d *Decomp, f *Field) *Exchanger {
 			}
 		}
 	}
-	// Owners translate requested coordinates to interior indices.
+	// Owners translate requested coordinates to interior indices. One-time
+	// plan construction; the per-step path below uses only neighbor legs.
 	recvd := mpi.AllToAll(c, coords)
 	for r := 0; r < p; r++ {
 		cs := recvd[r]
@@ -85,13 +141,141 @@ func NewExchanger(c *mpi.Comm, d *Decomp, f *Field) *Exchanger {
 		}
 		e.ownedIdx[r] = idx
 	}
-	_ = tagGhostPlan
+	// Neighbor legs: the ranks with traffic in either direction (the halo
+	// geometry is symmetric, so both lists are non-empty together, but the
+	// leg carries each direction's list independently).
+	for r := 0; r < p; r++ {
+		if len(e.ghostSlots[r]) == 0 && len(e.ownedIdx[r]) == 0 {
+			continue
+		}
+		e.legs = append(e.legs, gLeg{rank: r, ghost: e.ghostSlots[r], owned: e.ownedIdx[r]})
+	}
 	return e
+}
+
+// NumLegs returns the number of planned neighbor legs (≤ the 26-stencil for
+// sub-boxes wider than the ghost halo), for message-count accounting.
+func (e *Exchanger) NumLegs() int { return len(e.legs) }
+
+func (e *Exchanger) nextTag() int {
+	t := tagGhostBase | (e.id&0xff)<<12 | (e.seq & 0xfff)
+	e.seq++
+	return t
+}
+
+// getOp pops a pooled op (or allocates the first time).
+func (e *Exchanger) getOp(f *Field, fill bool) *GhostOp {
+	var op *GhostOp
+	if n := len(e.free); n > 0 {
+		op = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		op = &GhostOp{e: e, reqs: make([]mpi.Request, len(e.legs))}
+	}
+	op.f = f
+	op.fill = fill
+	return op
+}
+
+// AccumulateBegin packs every remote ghost value and posts one message per
+// neighbor leg plus the matching receives. Collective (all ranks must call
+// their Begin/End pairs in the same order); complete with End.
+func (e *Exchanger) AccumulateBegin(f *Field) *GhostOp {
+	op := e.getOp(f, false)
+	tag := e.nextTag()
+	send := e.sendScratch()
+	for li := range e.legs {
+		leg := &e.legs[li]
+		if len(leg.ghost) > 0 {
+			buf := par.Resize(send[leg.rank], len(leg.ghost))
+			for i, s := range leg.ghost {
+				buf[i] = f.Data[s]
+			}
+			send[leg.rank] = buf
+			mpi.Isend(e.comm, leg.rank, tag, buf)
+		}
+		if len(leg.owned) > 0 {
+			mpi.IrecvInit(e.comm, leg.rank, tag, &op.reqs[li])
+		}
+	}
+	return op
+}
+
+// FillBegin packs every interior value mirrored by a neighbor's halo and
+// posts one message per leg plus the matching receives. Collective;
+// complete with End.
+func (e *Exchanger) FillBegin(f *Field) *GhostOp {
+	op := e.getOp(f, true)
+	tag := e.nextTag()
+	send := e.sendScratch()
+	for li := range e.legs {
+		leg := &e.legs[li]
+		if len(leg.owned) > 0 {
+			buf := par.Resize(send[leg.rank], len(leg.owned))
+			for i, idx := range leg.owned {
+				buf[i] = f.Data[idx]
+			}
+			send[leg.rank] = buf
+			mpi.Isend(e.comm, leg.rank, tag, buf)
+		}
+		if len(leg.ghost) > 0 {
+			mpi.IrecvInit(e.comm, leg.rank, tag, &op.reqs[li])
+		}
+	}
+	return op
+}
+
+// End waits for the op's neighbor legs and unpacks them (in rank order,
+// matching the dense oracle bitwise), applies the self-wrap pairs, and — for
+// accumulates — zeroes the ghost halo. The op returns to the pool.
+func (op *GhostOp) End() {
+	e := op.e
+	f := op.f
+	if op.fill {
+		for li := range e.legs {
+			leg := &e.legs[li]
+			if len(leg.ghost) == 0 {
+				continue
+			}
+			buf := mpi.WaitRecv[float64](&op.reqs[li])
+			for i, s := range leg.ghost {
+				f.Data[s] = buf[i]
+			}
+		}
+		for i, s := range e.selfGhost {
+			f.Data[s] = f.Data[e.selfOwned[i]]
+		}
+	} else {
+		for li := range e.legs {
+			leg := &e.legs[li]
+			if len(leg.owned) == 0 {
+				continue
+			}
+			buf := mpi.WaitRecv[float64](&op.reqs[li])
+			for i, idx := range leg.owned {
+				f.Data[idx] += buf[i]
+			}
+		}
+		for i, s := range e.selfGhost {
+			f.Data[e.selfOwned[i]] += f.Data[s]
+		}
+		f.ZeroGhosts()
+	}
+	op.f = nil
+	e.free = append(e.free, op)
 }
 
 // Accumulate adds every ghost value into its owning cell (local pairs and
 // remote ranks alike), then zeroes the ghost halo. Collective.
-func (e *Exchanger) Accumulate(f *Field) {
+func (e *Exchanger) Accumulate(f *Field) { e.AccumulateBegin(f).End() }
+
+// Fill copies interior values outward so every ghost slot holds the
+// periodic value of its canonical cell. Collective.
+func (e *Exchanger) Fill(f *Field) { e.FillBegin(f).End() }
+
+// AccumulateDense is the legacy dense all-to-all accumulate, retained as
+// the equivalence oracle for the planned legs. Collective.
+func (e *Exchanger) AccumulateDense(f *Field) {
 	p := e.comm.Size()
 	send := e.sendScratch()
 	for r := 0; r < p; r++ {
@@ -116,9 +300,9 @@ func (e *Exchanger) Accumulate(f *Field) {
 	f.ZeroGhosts()
 }
 
-// Fill copies interior values outward so every ghost slot holds the
-// periodic value of its canonical cell. Collective.
-func (e *Exchanger) Fill(f *Field) {
+// FillDense is the legacy dense all-to-all fill, retained as the
+// equivalence oracle for the planned legs. Collective.
+func (e *Exchanger) FillDense(f *Field) {
 	p := e.comm.Size()
 	send := e.sendScratch()
 	for r := 0; r < p; r++ {

@@ -118,6 +118,23 @@ func (t *Timers) Get(name string) time.Duration {
 	return t.m[name]
 }
 
+// Communication phase names. The overlapped stepping pipeline splits comm
+// time into the posted share (pack + post of non-blocking legs, charged to
+// CommPost) and the exposed share (blocking wait + unpack, charged to
+// CommWait). Exposed wait is what communication actually costs the step —
+// overlap hides latency by shrinking CommWait (hidden communication shows
+// up in neither phase; it is absorbed into the compute phases it ran
+// behind), while CommPost is local pack work that overlap cannot remove.
+const (
+	CommPost = "commpost"
+	CommWait = "commwait"
+)
+
+// CommSplit returns the posted and exposed communication time.
+func (t *Timers) CommSplit() (post, wait time.Duration) {
+	return t.Get(CommPost), t.Get(CommWait)
+}
+
 // Total returns the sum over all phases.
 func (t *Timers) Total() time.Duration {
 	t.mu.Lock()

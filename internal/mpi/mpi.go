@@ -67,21 +67,42 @@ func (m *mailbox) take(ctx int64, src, tag int) (message, error) {
 		if m.aborted {
 			return message{}, fmt.Errorf("mpi: world aborted while waiting for message src=%d tag=%d", src, tag)
 		}
-		for i, msg := range m.pending {
-			if msg.ctx != ctx {
-				continue
-			}
-			if src != AnySource && msg.src != src {
-				continue
-			}
-			if tag != AnyTag && msg.tag != tag {
-				continue
-			}
-			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+		if msg, ok := m.match(ctx, src, tag); ok {
 			return msg, nil
 		}
 		m.cond.Wait()
 	}
+}
+
+// tryTake is the non-blocking form of take: it returns ok=false when no
+// matching message is pending instead of waiting.
+func (m *mailbox) tryTake(ctx int64, src, tag int) (message, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.aborted {
+		return message{}, false, fmt.Errorf("mpi: world aborted while testing for message src=%d tag=%d", src, tag)
+	}
+	msg, ok := m.match(ctx, src, tag)
+	return msg, ok, nil
+}
+
+// match removes and returns the first pending message matching
+// (ctx, src, tag). Caller holds m.mu.
+func (m *mailbox) match(ctx int64, src, tag int) (message, bool) {
+	for i, msg := range m.pending {
+		if msg.ctx != ctx {
+			continue
+		}
+		if src != AnySource && msg.src != src {
+			continue
+		}
+		if tag != AnyTag && msg.tag != tag {
+			continue
+		}
+		m.pending = append(m.pending[:i], m.pending[i+1:]...)
+		return msg, true
+	}
+	return message{}, false
 }
 
 // World is a set of ranks that can communicate. It owns the mailboxes and

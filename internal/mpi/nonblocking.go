@@ -1,0 +1,151 @@
+package mpi
+
+import "fmt"
+
+// Non-blocking point-to-point API. Sends in this runtime are eager (the
+// payload is buffered in the receiver's mailbox at post time, as with
+// small-message MPI), so an Isend completes immediately and the sender's
+// buffer is free for reuse as soon as the call returns. A posted Irecv
+// records the (source, tag) envelope without blocking; the message is
+// matched when the request completes — at Wait, Test, or Testsome — in FIFO
+// order per (source, tag) pair. Because ranks are goroutines, deferring the
+// match is what buys real overlap: a rank that would sit in a blocking Recv
+// keeps computing while its peers' sends land in the mailbox.
+//
+// Matching at completion time rather than post time departs from strict MPI
+// ordering only when two requests for the same (source, tag) envelope are
+// completed out of post order; the exchange plans built on this API never do
+// that (each leg has a distinct source, and sequenced tags separate
+// collectives).
+
+// Request is the handle of a non-blocking operation. The zero Request is
+// invalid; requests are produced by Isend/Irecv or initialized in place by
+// IrecvInit so plans can own and reuse them without allocating.
+type Request struct {
+	c       *Comm
+	src     int
+	tag     int
+	recv    bool
+	done    bool
+	payload any
+}
+
+// Isend posts a buffered send of a copy of buf and returns the (already
+// complete) request. buf may be reused immediately.
+func Isend[T any](c *Comm, dst, tag int, buf []T) Request {
+	Send(c, dst, tag, buf)
+	return Request{c: c, done: true}
+}
+
+// IsendMove posts a buffered send that transfers ownership of buf to the
+// receiver without copying. The caller must not touch buf afterwards.
+func IsendMove[T any](c *Comm, dst, tag int, buf []T) Request {
+	SendMove(c, dst, tag, buf)
+	return Request{c: c, done: true}
+}
+
+// Irecv posts a receive for a message matching (src, tag). src may be
+// AnySource and tag may be AnyTag. The call never blocks; complete the
+// request with Wait/Test and read the payload with Payload or WaitRecv.
+func Irecv(c *Comm, src, tag int) Request {
+	var r Request
+	IrecvInit(c, src, tag, &r)
+	return r
+}
+
+// IrecvInit initializes a caller-owned request in place (the allocation-free
+// form of Irecv, for persistent plans that reuse request storage across
+// collectives). Any previous state of *r is discarded.
+func IrecvInit(c *Comm, src, tag int, r *Request) {
+	if src != AnySource {
+		c.checkRank(src, "source")
+	}
+	*r = Request{c: c, src: src, tag: tag, recv: true}
+}
+
+// Wait blocks until the request completes. For receives the payload becomes
+// available via Payload. Wait panics if the world aborted.
+func (r *Request) Wait() {
+	if r.done {
+		return
+	}
+	if r.c == nil {
+		panic("mpi: Wait on zero Request")
+	}
+	msg, err := r.c.world.boxes[r.c.worldRank(r.c.rank)].take(r.c.ctx, r.src, r.tag)
+	if err != nil {
+		panic(err)
+	}
+	r.payload = msg.payload
+	r.done = true
+}
+
+// Test reports whether the request has completed, completing it if a
+// matching message is pending. Never blocks.
+func (r *Request) Test() bool {
+	if r.done {
+		return true
+	}
+	if r.c == nil {
+		panic("mpi: Test on zero Request")
+	}
+	msg, ok, err := r.c.world.boxes[r.c.worldRank(r.c.rank)].tryTake(r.c.ctx, r.src, r.tag)
+	if err != nil {
+		panic(err)
+	}
+	if !ok {
+		return false
+	}
+	r.payload = msg.payload
+	r.done = true
+	return true
+}
+
+// Done reports completion without attempting to complete the request.
+func (r *Request) Done() bool { return r.done }
+
+// WaitAll completes every request in the slice, in order.
+func WaitAll(rs []Request) {
+	for i := range rs {
+		rs[i].Wait()
+	}
+}
+
+// Testsome appends to done the indices of requests that complete during this
+// call (requests already complete before the call are not reported) and
+// returns the extended slice. Never blocks; an empty result means no pending
+// request had a matching message.
+func Testsome(rs []Request, done []int) []int {
+	for i := range rs {
+		if rs[i].done {
+			continue
+		}
+		if rs[i].Test() {
+			done = append(done, i)
+		}
+	}
+	return done
+}
+
+// Payload returns the received buffer of a completed receive request. It
+// panics if the request has not completed or the element type mismatches.
+// Send requests return nil.
+func Payload[T any](r *Request) []T {
+	if !r.done {
+		panic("mpi: Payload of incomplete request (call Wait first)")
+	}
+	if r.payload == nil {
+		return nil
+	}
+	buf, ok := r.payload.([]T)
+	if !ok {
+		panic(fmt.Sprintf("mpi: Payload type mismatch: got %T", r.payload))
+	}
+	return buf
+}
+
+// WaitRecv completes a receive request and returns its payload.
+func WaitRecv[T any](r *Request) []T {
+	r.Wait()
+	return Payload[T](r)
+}

@@ -1,0 +1,237 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func TestIsendIrecvBasic(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			req := Isend(c, 1, 3, []float64{1, 2, 3})
+			if !req.Done() {
+				t.Error("eager Isend must complete at post time")
+			}
+			req.Wait() // must be a no-op
+		} else {
+			req := Irecv(c, 0, 3)
+			got := WaitRecv[float64](&req)
+			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+				t.Errorf("got %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIrecvCompletionOrdering posts receives before any message exists and
+// completes them against messages that arrive in the opposite order: each
+// request must match its own tag regardless of posting or arrival order.
+func TestIrecvCompletionOrdering(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			// Wait for the receiver to have posted both requests, then send
+			// tag 9 before tag 8.
+			Recv[byte](c, 1, 0)
+			Send(c, 1, 9, []int{9})
+			Send(c, 1, 8, []int{8})
+		} else {
+			r8 := Irecv(c, 0, 8)
+			r9 := Irecv(c, 0, 9)
+			if r8.Test() || r9.Test() {
+				t.Error("request completed before any send")
+			}
+			Send(c, 0, 0, []byte{1})
+			// Complete in post order even though arrival order is 9, 8.
+			if got := WaitRecv[int](&r8); got[0] != 8 {
+				t.Errorf("r8 got %v", got)
+			}
+			if got := WaitRecv[int](&r9); got[0] != 9 {
+				t.Errorf("r9 got %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSameEnvelopeFIFO: two messages on the same (source, tag) envelope must
+// complete posted receives in send order.
+func TestSameEnvelopeFIFO(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			Send(c, 1, 5, []int{1})
+			Send(c, 1, 5, []int{2})
+		} else {
+			first := Irecv(c, 0, 5)
+			second := Irecv(c, 0, 5)
+			if got := WaitRecv[int](&first); got[0] != 1 {
+				t.Errorf("first got %v", got)
+			}
+			if got := WaitRecv[int](&second); got[0] != 2 {
+				t.Errorf("second got %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitAllMixedTags drains a plan-style request slice whose legs carry
+// distinct tags and sources.
+func TestWaitAllMixedTags(t *testing.T) {
+	const p = 5
+	err := Run(p, func(c *Comm) {
+		me := c.Rank()
+		if me == 0 {
+			reqs := make([]Request, p-1)
+			for r := 1; r < p; r++ {
+				IrecvInit(c, r, 100+r, &reqs[r-1])
+			}
+			WaitAll(reqs)
+			for r := 1; r < p; r++ {
+				got := Payload[int](&reqs[r-1])
+				if len(got) != 1 || got[0] != r*r {
+					t.Errorf("from %d: got %v", r, got)
+				}
+			}
+		} else {
+			Isend(c, 0, 100+me, []int{me * me})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferReuseAfterPost pins the eager-send contract the exchange plans
+// rely on: a persistent pack buffer may be overwritten as soon as Isend
+// returns, and a Wait-completed payload is owned by the receiver.
+func TestBufferReuseAfterPost(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []int{1, 2, 3}
+			Isend(c, 1, 0, buf)
+			buf[0] = 99 // reuse immediately: must not reach the receiver
+			Isend(c, 1, 1, buf)
+		} else {
+			ra := Irecv(c, 0, 0)
+			rb := Irecv(c, 0, 1)
+			a := WaitRecv[int](&ra)
+			if a[0] != 1 {
+				t.Errorf("Isend aliased the caller's buffer: %v", a)
+			}
+			b := WaitRecv[int](&rb)
+			if b[0] != 99 {
+				t.Errorf("second message wrong: %v", b)
+			}
+			a[0] = -1 // receiver owns the payload; must not affect b
+			if b[0] != 99 {
+				t.Error("payloads alias each other")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestsome(t *testing.T) {
+	err := Run(3, func(c *Comm) {
+		if c.Rank() != 0 {
+			// Rank 2 sends only after rank 1's message is acknowledged, so
+			// rank 0 observes staggered completion.
+			if c.Rank() == 2 {
+				Recv[byte](c, 0, 1)
+			}
+			Send(c, 0, 7, []int{c.Rank()})
+			return
+		}
+		reqs := make([]Request, 2)
+		IrecvInit(c, 1, 7, &reqs[0])
+		IrecvInit(c, 2, 7, &reqs[1])
+		var done []int
+		for len(done) == 0 {
+			done = Testsome(reqs, done[:0])
+		}
+		if len(done) != 1 || done[0] != 0 {
+			t.Errorf("first completion %v, want [0]", done)
+		}
+		if got := Payload[int](&reqs[0]); got[0] != 1 {
+			t.Errorf("leg 0 payload %v", got)
+		}
+		Send(c, 2, 1, []byte{1}) // release rank 2
+		reqs[1].Wait()
+		// An already-complete request is not re-reported.
+		if again := Testsome(reqs, nil); len(again) != 0 {
+			t.Errorf("Testsome re-reported completed requests: %v", again)
+		}
+		if got := Payload[int](&reqs[1]); got[0] != 2 {
+			t.Errorf("leg 1 payload %v", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIrecvInitReuse reuses one plan-owned request across collectives, the
+// pattern the domain/grid exchange plans depend on.
+func TestIrecvInitReuse(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		var req Request
+		for round := 0; round < 3; round++ {
+			if c.Rank() == 0 {
+				Isend(c, 1, round, []int{round * 10})
+			} else {
+				IrecvInit(c, 0, round, &req)
+				if got := WaitRecv[int](&req); got[0] != round*10 {
+					t.Errorf("round %d: got %v", round, got)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitAbort: a rank blocked in Wait must be released (with a panic that
+// Run converts to an error) when another rank dies.
+func TestWaitAbort(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			panic("boom")
+		}
+		req := Irecv(c, 0, 0)
+		req.Wait() // never satisfied; abort must release it
+	})
+	if err == nil {
+		t.Fatal("expected error from aborted world")
+	}
+}
+
+func TestPayloadIncompletePanics(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() != 1 {
+			Recv[byte](c, 1, 2) // hold rank 0 until rank 1 checked the panic
+			return
+		}
+		req := Irecv(c, 0, 0)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Payload on incomplete request must panic")
+				}
+			}()
+			Payload[int](&req)
+		}()
+		Send(c, 0, 2, []byte{1})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
