@@ -1,13 +1,16 @@
-// Command haccpower analyzes particle snapshots written by haccsim: it
-// merges per-rank snapshot files, measures the matter power spectrum, the
-// two-point correlation function, and the FOF halo mass function — the
-// §V statistics pipeline, decoupled from the simulation run.
+// Command haccpower analyzes particle snapshots written by haccsim with the
+// distributed in-situ pipeline: per-rank snapshot files are scattered over a
+// simulated MPI world, redistributed to their owner ranks, and measured with
+// the planned pencil-r2c P(k) estimator, the distributed FOF halo finder,
+// and the two-point correlation function — the §V statistics pipeline,
+// decoupled from the simulation run.
 //
 // Usage:
 //
-//	haccpower -snap run.hacc [-ranks 8] [-bins 16] [-fof 0.2]
+//	haccpower -snap run.hacc [-ranks 8] [-par 4] [-bins 16] [-fof 0.2]
 //
-// reads run.hacc, run.hacc.1, …, run.hacc.(ranks-1).
+// reads run.hacc, run.hacc.1, …, run.hacc.(ranks-1) and analyzes them on
+// -par simulated ranks.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"hacc/internal/analysis"
 	"hacc/internal/cosmology"
@@ -30,8 +34,10 @@ func main() {
 	var (
 		snapPath = flag.String("snap", "", "snapshot base path (required)")
 		ranks    = flag.Int("ranks", 1, "number of per-rank snapshot files")
+		par      = flag.Int("par", 4, "simulated MPI ranks for the distributed analysis")
 		bins     = flag.Int("bins", 16, "power spectrum bins")
 		fofB     = flag.Float64("fof", 0.2, "FOF linking length (fraction of mean spacing); 0 disables")
+		minN     = flag.Int("minhalo", 10, "minimum FOF halo membership")
 		shot     = flag.Bool("shot", true, "subtract Poisson shot noise from P(k)")
 	)
 	flag.Parse()
@@ -39,83 +45,134 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *par < 1 || *bins < 1 || *minN < 1 || *fofB < 0 {
+		log.Fatalf("senseless flags: -par %d -bins %d -minhalo %d -fof %g", *par, *bins, *minN, *fofB)
+	}
 
-	var header snapshot.Header
-	merged := &domain.Particles{}
-	for r := 0; r < *ranks; r++ {
-		path := *snapPath
+	// Headers are read up front (cheap) to size the world consistently.
+	paths := make([]string, *ranks)
+	for r := range paths {
+		paths[r] = *snapPath
 		if r > 0 {
-			path = fmt.Sprintf("%s.%d", *snapPath, r)
-		}
-		h, p, err := snapshot.LoadFile(path)
-		if err != nil {
-			log.Fatalf("reading %s: %v", path, err)
-		}
-		if r == 0 {
-			header = h
-		} else if h.NGrid != header.NGrid || h.BoxMpc != header.BoxMpc {
-			log.Fatalf("%s: inconsistent header (grid %d box %g)", path, h.NGrid, h.BoxMpc)
-		}
-		for i := 0; i < p.Len(); i++ {
-			merged.AppendFrom(p, i)
+			paths[r] = fmt.Sprintf("%s.%d", *snapPath, r)
 		}
 	}
-	log.Printf("loaded %d particles, grid %d³, box %.0f Mpc/h, a=%.4f (z=%.2f)",
-		merged.Len(), header.NGrid, header.BoxMpc, header.A, 1/header.A-1)
-
+	header, np0, err := scanHeaders(paths)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ng := int(header.NGrid)
-	err := mpi.Run(1, func(c *mpi.Comm) {
-		dec := grid.NewDecomp([3]int{ng, ng, ng}, 1)
+	log.Printf("%d particles, grid %d³, box %.0f Mpc/h, a=%.4f (z=%.2f), analyzing on %d ranks",
+		np0, ng, header.BoxMpc, header.A, 1/header.A-1, *par)
+
+	err = mpi.Run(*par, func(c *mpi.Comm) {
+		dec := grid.NewDecomp([3]int{ng, ng, ng}, *par)
 		dom := domain.New(c, dec, 3)
-		dom.Active = *merged
-		dom.Migrate()
-
-		ps := analysis.MeasurePower(c, dec, dom, header.BoxMpc, *bins, *shot)
-		fmt.Printf("\npower spectrum:\n%-12s %-14s %s\n", "k [h/Mpc]", "P(k)", "modes")
-		for i, k := range ps.K {
-			fmt.Printf("%-12.4f %-14.4e %d\n", k, ps.P[i], ps.NModes[i])
-		}
-		fmt.Printf("(shot noise level: %.3e)\n", ps.ShotNoise)
-
-		radii := []float64{2, 5, 10, 20, 40, 80, 105, 130}
-		var usable []float64
-		for _, r := range radii {
-			if r < header.BoxMpc/3 {
-				usable = append(usable, r)
+		// Each rank loads its share of the files; the dense migration then
+		// routes every particle to its owner (arbitrary motion, so the
+		// 26-stencil planned path does not apply here).
+		for fi := c.Rank(); fi < len(paths); fi += c.Size() {
+			_, p, err := snapshot.LoadFile(paths[fi])
+			if err != nil {
+				log.Fatalf("reading %s: %v", paths[fi], err)
+			}
+			for i := 0; i < p.Len(); i++ {
+				dom.Active.AppendFrom(p, i)
 			}
 		}
-		xi := analysis.CorrelationFromPower(ps, usable)
-		fmt.Printf("\ncorrelation function:\n%-12s %s\n", "r [Mpc/h]", "ξ(r)")
-		for i, r := range usable {
-			fmt.Printf("%-12.1f %.4e\n", r, xi[i])
-		}
+		dom.MigrateDense()
+		dom.Refresh()
 
-		if *fofB > 0 {
-			dom.Refresh()
-			params := cosmology.Default()
-			if header.OmegaM > 0 {
-				params.OmegaM = header.OmegaM
-				params.OmegaL = 1 - header.OmegaM
+		pw := analysis.NewPower(c, dec, nil, header.BoxMpc, *bins)
+		ps := pw.Measure(dom, *shot)
+		if c.Rank() == 0 {
+			fmt.Printf("\npower spectrum (pencil-r2c, %d ranks):\n%-12s %-14s %s\n", *par, "k [h/Mpc]", "P(k)", "modes")
+			for i, k := range ps.K {
+				fmt.Printf("%-12.4f %-14.4e %d\n", k, ps.P[i], ps.NModes[i])
 			}
-			np := int(float64(merged.Len()) + 0.5)
-			npDim := cbrtInt(np)
-			mp := params.ParticleMass(npDim, header.BoxMpc)
-			spacing := float64(ng) / float64(npDim)
-			halos := analysis.FindHalos(dom, dec, *fofB*spacing, 10, mp)
-			fmt.Printf("\nFOF halos (b=%.2f, ≥10 particles): %d\n", *fofB, len(halos))
-			for i, h := range halos {
-				if i >= 5 {
-					fmt.Printf("  … %d more\n", len(halos)-5)
-					break
+			fmt.Printf("(shot noise level: %.3e)\n", ps.ShotNoise)
+
+			radii := []float64{2, 5, 10, 20, 40, 80, 105, 130}
+			var usable []float64
+			for _, r := range radii {
+				if r < header.BoxMpc/3 {
+					usable = append(usable, r)
 				}
-				fmt.Printf("  halo %d: %d particles, M=%.2e Msun/h, center (%.1f,%.1f,%.1f)\n",
-					i, h.N, h.Mass, h.X, h.Y, h.Z)
 			}
+			xi := analysis.CorrelationFromPower(ps, usable)
+			fmt.Printf("\ncorrelation function:\n%-12s %s\n", "r [Mpc/h]", "ξ(r)")
+			for i, r := range usable {
+				fmt.Printf("%-12.1f %.4e\n", r, xi[i])
+			}
+		}
+
+		if *fofB <= 0 {
+			return
+		}
+		params := cosmology.Default()
+		if header.OmegaM > 0 {
+			params.OmegaM = header.OmegaM
+			params.OmegaL = 1 - header.OmegaM
+		}
+		nGlobal := dom.NGlobal()
+		npDim := cbrtInt(int(nGlobal))
+		mp := params.ParticleMass(npDim, header.BoxMpc)
+		spacing := float64(ng) / float64(npDim)
+		pl := analysis.NewPlan(dom, nil)
+		halos := pl.FindHalos(*fofB*spacing, *minN, mp)
+
+		// Concentrate the catalog for reporting (N, Mass, X, Y, Z per halo).
+		var flat []float64
+		for _, h := range halos {
+			flat = append(flat, float64(h.N), h.Mass, h.X, h.Y, h.Z)
+		}
+		all := mpi.Gather(c, 0, flat)
+		if c.Rank() != 0 {
+			return
+		}
+		type rec struct {
+			n             int
+			mass, x, y, z float64
+		}
+		var cat []rec
+		for k := 0; k+5 <= len(all); k += 5 {
+			cat = append(cat, rec{int(all[k]), all[k+1], all[k+2], all[k+3], all[k+4]})
+		}
+		sort.Slice(cat, func(i, j int) bool { return cat[i].n > cat[j].n })
+		fmt.Printf("\nFOF halos (distributed, b=%.2f, ≥%d particles): %d\n", *fofB, *minN, len(cat))
+		for i, h := range cat {
+			if i >= 5 {
+				fmt.Printf("  … %d more\n", len(cat)-5)
+				break
+			}
+			fmt.Printf("  halo %d: %d particles, M=%.2e Msun/h, center (%.1f,%.1f,%.1f)\n",
+				i, h.n, h.mass, h.x, h.y, h.z)
 		}
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// scanHeaders validates the per-rank snapshot headers (header-only reads —
+// particle payloads are decoded once, inside the analysis world) and
+// returns the first header plus the total particle count.
+func scanHeaders(paths []string) (snapshot.Header, int64, error) {
+	var header snapshot.Header
+	var total int64
+	for r, path := range paths {
+		h, err := snapshot.LoadHeader(path)
+		if err != nil {
+			return header, 0, fmt.Errorf("reading %s: %w", path, err)
+		}
+		if r == 0 {
+			header = h
+		} else if h.NGrid != header.NGrid || h.BoxMpc != header.BoxMpc {
+			return header, 0, fmt.Errorf("%s: inconsistent header (grid %d box %g)", path, h.NGrid, h.BoxMpc)
+		}
+		total += int64(h.NP)
+	}
+	return header, total, nil
 }
 
 // cbrtInt returns the integer cube root of n (assuming n is a perfect cube

@@ -1,0 +1,19 @@
+// Package analysis is the distributed in-situ analysis subsystem: the
+// science-facing measurements the paper's sky-survey workload produces at
+// scale without writing raw particle dumps — matter power spectra
+// (Fig. 10), FOF halos and sub-halos (Fig. 11), the halo mass function
+// (§V), the two-point correlation function, and density-field statistics.
+//
+// The two production paths are persistent plans in the style of the
+// exchange and spectral layers (PR 4): analysis.Plan runs rank-local FOF
+// over a chaining mesh, stitches halos that cross rank boundaries by
+// sending boundary-replica (particle ID, group key) pairs back to their
+// owners over the domain's 26-stencil neighbor legs, and resolves global
+// group IDs with a small gathered union-find; analysis.Power bins P(k)
+// directly on the pencil-r2c half spectrum, so a measurement costs one
+// planned real-to-complex transform. Both plans are built once, hold all
+// their scratch, and allocate nothing warm on one rank. The serial
+// implementations survive as equivalence oracles (FOFDense, powerSerial),
+// and the pre-plan single-rank finder (FOF, FindHalos) remains for
+// overload-local use.
+package analysis

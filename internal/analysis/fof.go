@@ -12,11 +12,12 @@ import (
 // Halo is a friends-of-friends group.
 type Halo struct {
 	N          int     // particle count
+	GID        uint64  // global group ID: minimum member particle ID
 	Mass       float64 // N · particle mass (caller's units)
 	X, Y, Z    float64 // center of mass (grid units)
 	VX, VY, VZ float64 // mean velocity
 	RMax       float64 // max particle distance from center (grid units)
-	Members    []int32 // indices into the particle arrays passed to FOF
+	Members    []int32 // indices into the particle arrays passed to the finder
 }
 
 // FOF runs friends-of-friends with linking length b (grid units) over the
@@ -245,6 +246,181 @@ func MassFunctionBins(c *mpi.Comm, halos []Halo, volMpc3 float64, mMin, mMax flo
 		dndlnm[b] = counts[b] / (volMpc3 * dln)
 	}
 	return
+}
+
+// FOFDense is the serial periodic friends-of-friends oracle: it links the
+// full (global) particle set with minimum-image distances on the periodic
+// n-cell box and returns halos with ≥ minN members, computed with the same
+// reference-frame formulas as the distributed Plan — the center of mass is
+// the minimum-ID member's position plus the mean minimum-image offset,
+// wrapped into the box; GID is the minimum member particle ID; Mass is the
+// member count (unit particle mass). Velocities may be nil. Retained as the
+// equivalence oracle for Plan.FindHalos; O(N) memory on one rank, so test
+// scale only.
+func FOFDense(x, y, z, vx, vy, vz []float32, ids []uint64, n [3]int, b float64, minN int) []Halo {
+	np := len(x)
+	if np == 0 {
+		return nil
+	}
+	parent := make([]int32, np)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(i int32) int32
+	find = func(i int32) int32 {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(i, j int32) {
+		ri, rj := find(i), find(j)
+		if ri != rj {
+			parent[rj] = ri
+		}
+	}
+
+	// Periodic chaining mesh: cell width ≥ b per axis, neighbor cells wrap.
+	// With very coarse meshes (≤2 cells per axis) the wrapped forward
+	// stencil revisits pairs; unions are idempotent, so only completeness
+	// matters — every pair within b lies in the same or adjacent cells.
+	var dims [3]int
+	for d := 0; d < 3; d++ {
+		dims[d] = int(float64(n[d]) / b)
+		if dims[d] < 1 {
+			dims[d] = 1
+		}
+	}
+	ncell := dims[0] * dims[1] * dims[2]
+	cellOf := make([]int32, np)
+	counts := make([]int32, ncell+1)
+	for i := 0; i < np; i++ {
+		var c [3]int
+		pos := [3]float32{x[i], y[i], z[i]}
+		for d := 0; d < 3; d++ {
+			c[d] = int(float64(pos[d]) * float64(dims[d]) / float64(n[d]))
+			if c[d] >= dims[d] {
+				c[d] = dims[d] - 1
+			}
+			if c[d] < 0 {
+				c[d] = 0
+			}
+		}
+		cellOf[i] = int32((c[0]*dims[1]+c[1])*dims[2] + c[2])
+		counts[cellOf[i]+1]++
+	}
+	for c := 0; c < ncell; c++ {
+		counts[c+1] += counts[c]
+	}
+	order := make([]int32, np)
+	cursor := make([]int32, ncell)
+	copy(cursor, counts[:ncell])
+	for i := 0; i < np; i++ {
+		c := cellOf[i]
+		order[cursor[c]] = int32(i)
+		cursor[c]++
+	}
+
+	fn := [3]float64{float64(n[0]), float64(n[1]), float64(n[2])}
+	near := func(i, j int32) bool {
+		dx := minImage(float64(x[i])-float64(x[j]), fn[0])
+		dy := minImage(float64(y[i])-float64(y[j]), fn[1])
+		dz := minImage(float64(z[i])-float64(z[j]), fn[2])
+		return dx*dx+dy*dy+dz*dz <= b*b
+	}
+	linkCells := func(c1, c2 int32, same bool) {
+		s1, e1 := counts[c1], counts[c1+1]
+		s2, e2 := counts[c2], counts[c2+1]
+		for a := s1; a < e1; a++ {
+			i := order[a]
+			start := s2
+			if same {
+				start = a + 1
+			}
+			for bb := start; bb < e2; bb++ {
+				j := order[bb]
+				if i != j && near(i, j) {
+					union(i, j)
+				}
+			}
+		}
+	}
+	for cx := 0; cx < dims[0]; cx++ {
+		for cy := 0; cy < dims[1]; cy++ {
+			for cz := 0; cz < dims[2]; cz++ {
+				c1 := int32((cx*dims[1]+cy)*dims[2] + cz)
+				linkCells(c1, c1, true)
+				for _, s := range fwdStencil {
+					nx := (cx + s[0] + dims[0]) % dims[0]
+					ny := (cy + s[1] + dims[1]) % dims[1]
+					nz := (cz + s[2] + dims[2]) % dims[2]
+					linkCells(c1, int32((nx*dims[1]+ny)*dims[2]+nz), false)
+				}
+			}
+		}
+	}
+
+	// Collect groups and compute properties in the minimum-ID frame.
+	groups := map[int32][]int32{}
+	for i := int32(0); i < int32(np); i++ {
+		groups[find(i)] = append(groups[find(i)], i)
+	}
+	var halos []Halo
+	for _, members := range groups {
+		if len(members) < minN {
+			continue
+		}
+		mi := members[0]
+		var gid uint64 = math.MaxUint64
+		for _, m := range members {
+			id := uint64(m)
+			if ids != nil {
+				id = ids[m]
+			}
+			if id < gid {
+				gid = id
+				mi = m
+			}
+		}
+		ref := [3]float64{float64(x[mi]), float64(y[mi]), float64(z[mi])}
+		h := Halo{N: len(members), GID: gid, Mass: float64(len(members)), Members: members}
+		var sx, sy, sz float64
+		for _, m := range members {
+			sx += minImage(float64(x[m])-ref[0], fn[0])
+			sy += minImage(float64(y[m])-ref[1], fn[1])
+			sz += minImage(float64(z[m])-ref[2], fn[2])
+			if vx != nil {
+				h.VX += float64(vx[m])
+				h.VY += float64(vy[m])
+				h.VZ += float64(vz[m])
+			}
+		}
+		inv := 1 / float64(h.N)
+		mx, my, mz := sx*inv, sy*inv, sz*inv
+		h.X = wrapF64(ref[0]+mx, fn[0])
+		h.Y = wrapF64(ref[1]+my, fn[1])
+		h.Z = wrapF64(ref[2]+mz, fn[2])
+		h.VX *= inv
+		h.VY *= inv
+		h.VZ *= inv
+		for _, m := range members {
+			dx := minImage(float64(x[m])-ref[0], fn[0]) - mx
+			dy := minImage(float64(y[m])-ref[1], fn[1]) - my
+			dz := minImage(float64(z[m])-ref[2], fn[2]) - mz
+			if r := math.Sqrt(dx*dx + dy*dy + dz*dz); r > h.RMax {
+				h.RMax = r
+			}
+		}
+		halos = append(halos, h)
+	}
+	sort.Slice(halos, func(i, j int) bool {
+		if halos[i].N != halos[j].N {
+			return halos[i].N > halos[j].N
+		}
+		return halos[i].GID < halos[j].GID
+	})
+	return halos
 }
 
 func minf(a, b float32) float32 {

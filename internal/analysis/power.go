@@ -1,15 +1,13 @@
-// Package analysis provides the science-facing measurements the paper's
-// evaluation draws on: matter power spectra (Fig. 10), FOF halos and
-// sub-halos (Fig. 11), the halo mass function (§V), and density-field
-// statistics standing in for the visualizations of Figs. 2 and 9.
 package analysis
 
 import (
+	"fmt"
 	"math"
 
 	"hacc/internal/domain"
 	"hacc/internal/grid"
 	"hacc/internal/mpi"
+	"hacc/internal/par"
 	"hacc/internal/pfft"
 	"hacc/internal/spectral"
 )
@@ -21,13 +19,238 @@ type PowerSpectrum struct {
 	ShotNoise float64 // the subtracted 1/n̄ term, for reference
 }
 
-// MeasurePower estimates the matter power spectrum of the active particles:
-// CIC deposit, distributed FFT, CIC window deconvolution, and spherical
-// binning up to the grid Nyquist frequency. subtractShot removes the
-// Poisson discreteness term 1/n̄ — appropriate for evolved (clustered)
-// fields but not for lattice initial conditions, whose discreteness noise
-// is suppressed far below Poisson. Collective over comm.
-func MeasurePower(c *mpi.Comm, dec *grid.Decomp, dom *domain.Domain, boxMpc float64, nbins int, subtractShot bool) *PowerSpectrum {
+// Power is the persistent distributed P(k) estimator: the in-situ analysis
+// mirror of spectral.Poisson. Built once per (decomposition, box, bin
+// count), it owns a deposit field and ghost exchanger, a planned
+// block→x-pencil redistribution, the pencil FFT plan, and per-mode binning
+// tables (bin index, CIC deconvolution, Hermitian pair weight) precomputed
+// over this rank's share of the half spectrum — so a measurement costs one
+// planned r2c forward transform plus a pooled binning sweep, and a warm
+// Measure allocates nothing on one rank.
+//
+// The DC mode is excluded from every bin, which makes depositing ρ
+// equivalent to depositing δ = ρ−1: no mean subtraction pass is needed.
+// The half spectrum (kx ∈ [0, n/2]) covers the full-spectrum sum exactly:
+// interior kx planes carry Hermitian weight 2, the self-conjugate kx = 0
+// (and kx = n/2 for even n) planes weight 1.
+type Power struct {
+	comm   *mpi.Comm
+	dec    *grid.Decomp
+	pool   *par.Pool
+	boxMpc float64
+	nbins  int
+
+	pen   *pfft.Pencil
+	toPen *pfft.Redistributor[float64]
+	rho   *grid.Field
+	ex    *grid.Exchanger
+
+	binOf []int32   // per local half-spectrum mode: bin index, -1 outside
+	pfac  []float64 // per mode: weight · norm / W_CIC²
+	kfac  []float64 // per mode: weight · |k| (h/Mpc)
+	wgt   []int64   // per mode: Hermitian pair weight (1 or 2)
+
+	ownedBuf, realBuf []float64
+
+	// Partial histograms for the pooled binning sweep, one per fixed mode
+	// stripe (not per worker): workers claim stripes round-robin and the
+	// merge runs in stripe order, so the float64 summation order — and
+	// hence the result, bitwise — is independent of the pool size.
+	pkS, kwS []float64 // binStripes × nbins
+	nmS      []int64
+	pk, kw   []float64
+	nm       []int64
+	workers  int
+
+	// Persistent pool-dispatch body; the per-call spectrum lives in spec.
+	binBody func(w int)
+	spec    []complex128
+
+	// nGlobal is the (conserved) global particle count, cached at the first
+	// collective Measure; mass is the per-particle deposit weight that makes
+	// the mean density 1.
+	nGlobal int64
+	mass    float64
+
+	out PowerSpectrum // plan-owned output storage
+}
+
+// NewPower builds the estimator plan. Collective over comm (the pencil plan
+// splits sub-communicators). pool may be nil for a serial estimator; nbins
+// and boxMpc must be positive.
+func NewPower(c *mpi.Comm, dec *grid.Decomp, pool *par.Pool, boxMpc float64, nbins int) *Power {
+	if nbins < 1 {
+		panic(fmt.Sprintf("analysis: power spectrum needs ≥1 bins, got %d", nbins))
+	}
+	if boxMpc <= 0 {
+		panic(fmt.Sprintf("analysis: box size must be positive, got %g", boxMpc))
+	}
+	n := dec.N
+	ng := n[0]
+	pw := &Power{comm: c, dec: dec, pool: pool, boxMpc: boxMpc, nbins: nbins}
+	pw.rho = grid.NewField(n, dec.Box(c.Rank()), 1)
+	pw.ex = grid.NewExchanger(c, dec, pw.rho)
+	pw.pen = pfft.NewAuto(c, n)
+	pw.pen.SetPool(pool)
+	pw.toPen = pfft.NewRedistributor[float64](c, dec.Layout(), pw.pen.LayoutX())
+	pw.ownedBuf = make([]float64, dec.Layout().Boxes[c.Rank()].Count())
+	pw.realBuf = make([]float64, pw.pen.LocalX().Count())
+
+	// Per-mode tables over this rank's half-spectrum z-pencil share.
+	nk := pw.pen.LocalZR().Count()
+	pw.binOf = make([]int32, nk)
+	pw.pfac = make([]float64, nk)
+	pw.kfac = make([]float64, nk)
+	pw.wgt = make([]int64, nk)
+	vol := boxMpc * boxMpc * boxMpc
+	nc3 := float64(ng) * float64(ng) * float64(ng)
+	norm := vol / (nc3 * nc3)
+	kNyq := math.Pi * float64(ng) / boxMpc
+	dk := kNyq / float64(nbins)
+	half := ng/2 + 1
+	pw.pen.ForEachKR(func(mx, my, mz, idx int) {
+		pw.binOf[idx] = -1
+		if mx == 0 && my == 0 && mz == 0 {
+			return
+		}
+		kx := spectral.KMode(mx, ng)
+		ky := spectral.KMode(my, ng)
+		kz := spectral.KMode(mz, ng)
+		kPhys := math.Sqrt(kx*kx+ky*ky+kz*kz) * float64(ng) / boxMpc
+		bin := int(kPhys / dk)
+		if bin >= nbins {
+			return
+		}
+		w := 2.0
+		if mx == 0 || (ng%2 == 0 && mx == half-1) {
+			w = 1 // self-conjugate plane: the partner mode is also stored
+		}
+		cw := cicWindow(kx) * cicWindow(ky) * cicWindow(kz)
+		pw.binOf[idx] = int32(bin)
+		pw.pfac[idx] = w * norm / (cw * cw)
+		pw.kfac[idx] = w * kPhys
+		pw.wgt[idx] = int64(w)
+	})
+
+	pw.workers = 1
+	if pool != nil {
+		pw.workers = pool.Workers()
+	}
+	pw.pkS = make([]float64, binStripes*nbins)
+	pw.kwS = make([]float64, binStripes*nbins)
+	pw.nmS = make([]int64, binStripes*nbins)
+	pw.pk = make([]float64, nbins)
+	pw.kw = make([]float64, nbins)
+	pw.nm = make([]int64, nbins)
+	pw.binBody = func(w int) {
+		spec := pw.spec
+		for s := w; s < binStripes; s += pw.workers {
+			lo, hi := nk*s/binStripes, nk*(s+1)/binStripes
+			pk := pw.pkS[s*pw.nbins : (s+1)*pw.nbins]
+			kw := pw.kwS[s*pw.nbins : (s+1)*pw.nbins]
+			nm := pw.nmS[s*pw.nbins : (s+1)*pw.nbins]
+			for i := lo; i < hi; i++ {
+				b := pw.binOf[i]
+				if b < 0 {
+					continue
+				}
+				v := spec[i]
+				pk[b] += (real(v)*real(v) + imag(v)*imag(v)) * pw.pfac[i]
+				kw[b] += pw.kfac[i]
+				nm[b] += pw.wgt[i]
+			}
+		}
+	}
+	return pw
+}
+
+// binStripes is the fixed stripe count of the pooled binning sweep; it
+// bounds the useful pool parallelism of the sweep but keeps its result
+// bitwise independent of the worker count.
+const binStripes = 16
+
+// Bins returns the configured bin count.
+func (pw *Power) Bins() int { return pw.nbins }
+
+// Measure estimates the matter power spectrum of the domain's active
+// particles: pooled CIC deposit onto the plan's field, ghost accumulate,
+// planned block→pencil redistribution, one r2c forward transform, and a
+// pooled binning sweep over the half spectrum, reduced across ranks.
+// subtractShot removes the Poisson discreteness term 1/n̄ (appropriate for
+// evolved fields, not lattice ICs). Collective; actives must be canonical
+// (post-Migrate). The returned spectrum and its slices are plan-owned,
+// valid until the next Measure call.
+func (pw *Power) Measure(dom *domain.Domain, subtractShot bool) *PowerSpectrum {
+	n := pw.dec.N
+	ng := n[0]
+	if pw.nGlobal == 0 {
+		pw.nGlobal = dom.NGlobal()
+		if pw.nGlobal == 0 {
+			panic("analysis: power spectrum of an empty particle set")
+		}
+		pw.mass = float64(ng) * float64(ng) * float64(ng) / float64(pw.nGlobal)
+	}
+	pw.rho.Fill(0)
+	grid.DepositCIC(pw.rho, dom.Active.X, dom.Active.Y, dom.Active.Z, pw.mass)
+	pw.ex.Accumulate(pw.rho)
+	pw.ownedBuf = pw.rho.OwnedInto(pw.ownedBuf)
+	pw.toPen.Run(pw.ownedBuf, pw.realBuf)
+	pw.spec = pw.pen.ForwardReal(pw.realBuf)
+
+	for i := range pw.pkS {
+		pw.pkS[i] = 0
+		pw.kwS[i] = 0
+		pw.nmS[i] = 0
+	}
+	if pw.pool != nil && pw.workers > 1 {
+		pw.pool.Run(pw.workers, pw.binBody)
+	} else {
+		pw.binBody(0)
+	}
+	pw.spec = nil
+	for b := 0; b < pw.nbins; b++ {
+		pw.pk[b] = 0
+		pw.kw[b] = 0
+		pw.nm[b] = 0
+	}
+	for s := 0; s < binStripes; s++ {
+		for b := 0; b < pw.nbins; b++ {
+			pw.pk[b] += pw.pkS[s*pw.nbins+b]
+			pw.kw[b] += pw.kwS[s*pw.nbins+b]
+			pw.nm[b] += pw.nmS[s*pw.nbins+b]
+		}
+	}
+	if pw.comm.Size() > 1 {
+		copy(pw.pk, mpi.AllReduce(pw.comm, pw.pk, mpi.SumF64))
+		copy(pw.kw, mpi.AllReduce(pw.comm, pw.kw, mpi.SumF64))
+		copy(pw.nm, mpi.AllReduce(pw.comm, pw.nm, mpi.SumI64))
+	}
+
+	vol := pw.boxMpc * pw.boxMpc * pw.boxMpc
+	shot := vol / float64(pw.nGlobal)
+	sub := 0.0
+	if subtractShot {
+		sub = shot
+	}
+	pw.out.ShotNoise = shot
+	pw.out.K = pw.out.K[:0]
+	pw.out.P = pw.out.P[:0]
+	pw.out.NModes = pw.out.NModes[:0]
+	for b := 0; b < pw.nbins; b++ {
+		if pw.nm[b] == 0 {
+			continue
+		}
+		pw.out.K = append(pw.out.K, pw.kw[b]/float64(pw.nm[b]))
+		pw.out.P = append(pw.out.P, pw.pk[b]/float64(pw.nm[b])-sub)
+		pw.out.NModes = append(pw.out.NModes, pw.nm[b])
+	}
+	return &pw.out
+}
+
+// powerSerial is the pre-plan estimator — full complex-spectrum FFT through
+// the one-shot redistribution — retained as the equivalence oracle for
+// Power.Measure. Collective over comm.
+func powerSerial(c *mpi.Comm, dec *grid.Decomp, dom *domain.Domain, boxMpc float64, nbins int, subtractShot bool) *PowerSpectrum {
 	n := dec.N
 	ng := n[0]
 	rho := grid.NewField(n, dec.Box(c.Rank()), 1)
@@ -96,6 +319,21 @@ func MeasurePower(c *mpi.Comm, dec *grid.Decomp, dom *domain.Domain, boxMpc floa
 		out.NModes = append(out.NModes, nm[b])
 	}
 	return out
+}
+
+// MeasurePower estimates P(k) with a one-shot plan: build a Power for the
+// decomposition, measure once, and return spectra backed by freshly
+// allocated (caller-owned) slices. Collective. Callers measuring repeatedly
+// should hold a Power and call Measure.
+func MeasurePower(c *mpi.Comm, dec *grid.Decomp, dom *domain.Domain, boxMpc float64, nbins int, subtractShot bool) *PowerSpectrum {
+	pw := NewPower(c, dec, nil, boxMpc, nbins)
+	ps := pw.Measure(dom, subtractShot)
+	return &PowerSpectrum{
+		K:         append([]float64(nil), ps.K...),
+		P:         append([]float64(nil), ps.P...),
+		NModes:    append([]int64(nil), ps.NModes...),
+		ShotNoise: ps.ShotNoise,
+	}
 }
 
 // cicWindow is the CIC assignment window sinc²(k/2) along one axis.

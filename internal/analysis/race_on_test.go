@@ -1,0 +1,8 @@
+//go:build race
+
+package analysis
+
+// raceEnabled reports that the race detector is active; its instrumentation
+// allocates inside the transform path, so allocation-count pins are
+// meaningless under -race.
+const raceEnabled = true

@@ -1,9 +1,3 @@
-// Package bench implements the experiment runners that regenerate every
-// table and figure of the paper's evaluation (§IV–V), scaled to a single
-// machine: ranks are goroutines, problem sizes are laptop-sized, and the
-// BG/Q columns are model projections from counted work (see internal/
-// machine). The same runners back the root benchmark suite and the
-// haccbench command.
 package bench
 
 import (

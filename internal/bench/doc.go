@@ -1,0 +1,8 @@
+// Package bench implements the experiment runners that regenerate every
+// table and figure of the paper's evaluation (§IV–V), scaled to a single
+// machine: ranks are goroutines, problem sizes are laptop-sized, and the
+// BG/Q columns are model projections from counted work (see
+// internal/machine). The same runners back the root benchmark suite and
+// the haccbench command. Seed-era package, extended per PR as new
+// experiments land (the per-experiment index lives in DESIGN.md).
+package bench

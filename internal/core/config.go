@@ -1,8 +1,3 @@
-// Package core is the HACC framework proper: it wires the spectral
-// particle-mesh long/medium-range solver, the switchable short-range
-// backends (RCB tree "PPTreePM" as on BG/Q, or chaining-mesh "P3M" as on
-// Roadrunner), particle overloading, and the SKS symplectic stepper into a
-// full cosmological N-body simulation (paper §II–III).
 package core
 
 import (
@@ -79,6 +74,33 @@ type Config struct {
 	// must not read Dom.Passive (it is mid-refresh there — call
 	// Simulation.FinishRefresh first, or set DisableOverlap).
 	DisableOverlap bool
+
+	// In-situ analysis (the paper's sky-survey data products, produced
+	// without raw particle dumps). All four knobs are validated centrally in
+	// Validate: zero values take the documented defaults; negative (or
+	// otherwise senseless) values are configuration errors, never silent
+	// misbehavior.
+
+	// AnalysisEvery runs the in-situ pipeline — distributed FOF halo
+	// catalog plus pencil-r2c P(k) — after every AnalysisEvery-th full
+	// step. 0 disables in-situ analysis (the default); negative values are
+	// rejected by Validate.
+	AnalysisEvery int
+	// AnalysisBins is the number of P(k) bins (default 16; must be ≥1).
+	AnalysisBins int
+	// FOFLinking is the FOF linking length as a fraction of the mean
+	// interparticle spacing (default 0.2, the survey standard; must be
+	// positive, and the resulting length must fit inside the overload
+	// shell).
+	FOFLinking float64
+	// MinHaloSize is the minimum FOF group membership reported in halo
+	// catalogs (default 10; must be ≥1).
+	MinHaloSize int
+	// AnalysisDir, when non-empty, emits every in-situ product through the
+	// snapshot package: a per-rank halo catalog and a rank-0 power
+	// spectrum per analysis step. Empty keeps results in memory only
+	// (Simulation.LastAnalysis).
+	AnalysisDir string
 }
 
 // WithDefaults returns the config with defaults filled in.
@@ -119,6 +141,15 @@ func (c Config) WithDefaults() Config {
 	if c.Cosmo == (cosmology.Params{}) {
 		c.Cosmo = cosmology.Default()
 	}
+	if c.AnalysisBins == 0 {
+		c.AnalysisBins = 16
+	}
+	if c.FOFLinking == 0 {
+		c.FOFLinking = 0.2
+	}
+	if c.MinHaloSize == 0 {
+		c.MinHaloSize = 10
+	}
 	return c
 }
 
@@ -149,6 +180,31 @@ func (c Config) Validate() error {
 	}
 	if 2*c.Overload >= float64(c.NGrid) {
 		return fmt.Errorf("core: overload %g too wide for grid %d", c.Overload, c.NGrid)
+	}
+	// In-situ analysis knobs: all analysis configuration is validated here,
+	// in one place, so misconfiguration fails at New rather than misbehaving
+	// steps later.
+	if c.AnalysisEvery < 0 {
+		return fmt.Errorf("core: AnalysisEvery %d must be ≥0 (0 disables in-situ analysis)", c.AnalysisEvery)
+	}
+	if c.AnalysisBins < 1 {
+		return fmt.Errorf("core: AnalysisBins %d must be ≥1", c.AnalysisBins)
+	}
+	if c.FOFLinking <= 0 {
+		return fmt.Errorf("core: FOFLinking %g must be positive (fraction of the mean interparticle spacing)", c.FOFLinking)
+	}
+	if c.MinHaloSize < 1 {
+		return fmt.Errorf("core: MinHaloSize %d must be ≥1", c.MinHaloSize)
+	}
+	// Only the in-situ pipeline consumes FOFLinking automatically; ad-hoc
+	// FindHalos calls validate their linking length at call time, so a
+	// disabled pipeline must not reject configs over the defaulted value.
+	if c.AnalysisEvery > 0 && c.NParticles > 0 && c.NGrid > 0 {
+		spacing := float64(c.NGrid) / float64(c.NParticles)
+		if b := c.FOFLinking * spacing; b > c.Overload {
+			return fmt.Errorf("core: FOF linking length %g cells (FOFLinking %g × spacing %g) exceeds the overload width %g; raise Overload or shrink FOFLinking",
+				b, c.FOFLinking, spacing, c.Overload)
+		}
 	}
 	return nil
 }

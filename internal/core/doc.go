@@ -1,0 +1,14 @@
+// Package core is the HACC framework proper: it wires the spectral
+// particle-mesh long/medium-range solver, the switchable short-range
+// backends (RCB tree "PPTreePM" as on BG/Q, or chaining-mesh "P3M" as on
+// Roadrunner), particle overloading, the SKS symplectic stepper, and the
+// in-situ analysis pipeline into a full cosmological N-body simulation
+// (paper §II–III).
+//
+// A Simulation owns every persistent plan for the life of the run: the
+// worker pool and short-range solver scratch (PR 1), the planned spectral
+// Poisson solver (PR 2), the neighbor-stencil exchange plans with
+// overlapped Begin/End stepping (PR 3), and the in-situ FOF and P(k)
+// plans driven by Config.AnalysisEvery (PR 4). The hot stepping path
+// allocates nothing after the first sub-cycle.
+package core

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"os"
 	"time"
 
 	"hacc/internal/analysis"
@@ -14,6 +15,7 @@ import (
 	"hacc/internal/mpi"
 	"hacc/internal/par"
 	"hacc/internal/shortrange"
+	"hacc/internal/snapshot"
 	"hacc/internal/spectral"
 	"hacc/internal/timestep"
 	"hacc/internal/tree"
@@ -65,6 +67,25 @@ type Simulation struct {
 	// in-flight acceleration-component ghost fills.
 	refreshPending bool
 	fillOps        [3]*grid.GhostOp
+
+	// fof and power are the persistent in-situ analysis plans (built in New
+	// when Cfg.AnalysisEvery > 0, or lazily by FindHalos/PowerSpectrum).
+	// LastAnalysis holds the most recent in-situ product; its halo and
+	// spectrum storage is plan-owned and valid until the next analysis
+	// pass.
+	fof          *analysis.Plan
+	power        *analysis.Power
+	LastAnalysis *InSituResult
+}
+
+// InSituResult is one in-situ analysis product: the rank's share of the
+// halo catalog (each halo reported by exactly one rank) and the global
+// power spectrum.
+type InSituResult struct {
+	Step     int
+	A        float64
+	Halos    []analysis.Halo
+	Spectrum *analysis.PowerSpectrum
 }
 
 // shortScratch holds the buffers and solver structures kickShort reuses
@@ -171,7 +192,33 @@ func New(c *mpi.Comm, cfg Config) (*Simulation, error) {
 	}
 	s.Dom.Refresh()
 	s.A = s.sched.AInit
+	if cfg.AnalysisEvery > 0 {
+		s.ensureAnalysis(cfg.AnalysisBins)
+	}
 	return s, nil
+}
+
+// ensureFOF builds the persistent halo-finder plan on first use (purely
+// local construction).
+func (s *Simulation) ensureFOF() {
+	if s.fof == nil {
+		s.fof = analysis.NewPlan(s.Dom, s.pool)
+	}
+}
+
+// ensurePower builds (or rebuilds, when the bin count changes) the
+// persistent P(k) estimator plan. Collective when it (re)builds; callers
+// invoke it with identical arguments on every rank.
+func (s *Simulation) ensurePower(bins int) {
+	if s.power == nil || s.power.Bins() != bins {
+		s.power = analysis.NewPower(s.Comm, s.Dec, s.pool, s.Cfg.BoxMpc, bins)
+	}
+}
+
+// ensureAnalysis builds both in-situ plans.
+func (s *Simulation) ensureAnalysis(bins int) {
+	s.ensureFOF()
+	s.ensurePower(bins)
 }
 
 // Z returns the current redshift.
@@ -184,6 +231,9 @@ func (s *Simulation) Z() float64 { return cosmology.ZFromA(s.A) }
 // the step callback instead).
 func (s *Simulation) Step() error {
 	if err := s.step(); err != nil {
+		return err
+	}
+	if err := s.maybeAnalyze(); err != nil {
 		return err
 	}
 	s.FinishRefresh()
@@ -249,11 +299,68 @@ func (s *Simulation) Run(cb func(step int, a float64)) error {
 		if err := s.step(); err != nil {
 			return err
 		}
+		if err := s.maybeAnalyze(); err != nil {
+			return err
+		}
 		if cb != nil {
 			cb(s.StepIndex, s.A)
 		}
 	}
 	s.FinishRefresh()
+	return nil
+}
+
+// maybeAnalyze runs the in-situ pipeline when the current step index hits
+// the configured cadence.
+func (s *Simulation) maybeAnalyze() error {
+	if s.Cfg.AnalysisEvery <= 0 || s.StepIndex%s.Cfg.AnalysisEvery != 0 {
+		return nil
+	}
+	return s.Analyze()
+}
+
+// Analyze runs one in-situ analysis pass — the paper's sky-survey data
+// products, produced without writing raw particle dumps. The power
+// spectrum runs first: it reads only active particles, so its deposit,
+// transform, and binning legally overlap the end-of-step overload refresh
+// still in flight; the halo finder reads the passive replicas and
+// therefore completes the refresh before linking. Results land in
+// LastAnalysis (plan-owned storage, valid until the next pass) and, when
+// Cfg.AnalysisDir is set, on disk via the snapshot package. Collective.
+func (s *Simulation) Analyze() error {
+	s.ensureAnalysis(s.Cfg.AnalysisBins)
+	var res InSituResult
+	s.Timers.Time("analysis", func() {
+		res = InSituResult{Step: s.StepIndex, A: s.A}
+		res.Spectrum = s.power.Measure(s.Dom, true)
+		s.FinishRefresh()
+		spacing := float64(s.Cfg.NGrid) / float64(s.Cfg.NParticles)
+		res.Halos = s.fof.FindHalos(s.Cfg.FOFLinking*spacing, s.Cfg.MinHaloSize, s.ParticleMassMsun)
+	})
+	s.LastAnalysis = &res
+	if s.Cfg.AnalysisDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.Cfg.AnalysisDir, 0o755); err != nil {
+		return fmt.Errorf("core: in-situ output directory: %w", err)
+	}
+	h := snapshot.Header{
+		NGrid:  uint32(s.Cfg.NGrid),
+		BoxMpc: s.Cfg.BoxMpc,
+		A:      s.A,
+		OmegaM: s.Cfg.Cosmo.OmegaM,
+		Seed:   s.Cfg.Seed,
+	}
+	cat := fmt.Sprintf("%s/halos_step%04d.r%d.bin", s.Cfg.AnalysisDir, s.StepIndex, s.Comm.Rank())
+	if err := snapshot.SaveHalos(cat, h, res.Halos); err != nil {
+		return fmt.Errorf("core: in-situ halo catalog: %w", err)
+	}
+	if s.Comm.Rank() == 0 {
+		pk := fmt.Sprintf("%s/spectrum_step%04d.bin", s.Cfg.AnalysisDir, s.StepIndex)
+		if err := snapshot.SaveSpectrum(pk, h, res.Spectrum); err != nil {
+			return fmt.Errorf("core: in-situ spectrum: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -494,19 +601,33 @@ func (s *Simulation) stream(w float64) {
 	s.Timers.Add("stream", time.Since(t0))
 }
 
-// PowerSpectrum measures P(k) of the current particle distribution.
-// Collective.
+// PowerSpectrum measures P(k) of the current particle distribution on the
+// persistent pencil-r2c estimator plan (built on first use, rebuilt only
+// when the bin count changes). The returned spectrum is caller-owned — it
+// stays valid across later measurements; zero-allocation consumers use
+// the plan's Measure directly. Collective.
 func (s *Simulation) PowerSpectrum(bins int, subtractShot bool) *analysis.PowerSpectrum {
-	return analysis.MeasurePower(s.Comm, s.Dec, s.Dom, s.Cfg.BoxMpc, bins, subtractShot)
+	s.ensurePower(bins)
+	ps := s.power.Measure(s.Dom, subtractShot)
+	return &analysis.PowerSpectrum{
+		K:         append([]float64(nil), ps.K...),
+		P:         append([]float64(nil), ps.P...),
+		NModes:    append([]int64(nil), ps.NModes...),
+		ShotNoise: ps.ShotNoise,
+	}
 }
 
-// FindHalos runs the overload-aware FOF finder; b is the linking length as
-// a fraction of the mean interparticle spacing (0.2 is standard). It reads
-// the passive replicas, so it completes any overlapped refresh first.
+// FindHalos runs the distributed FOF finder on the persistent analysis
+// plan; b is the linking length as a fraction of the mean interparticle
+// spacing (0.2 is standard). It reads the passive replicas, so it
+// completes any overlapped refresh first. Each halo is reported by exactly
+// one rank; the returned slice is plan-owned, valid until the next call.
+// Collective.
 func (s *Simulation) FindHalos(b float64, minN int) []analysis.Halo {
 	s.FinishRefresh()
+	s.ensureFOF()
 	spacing := float64(s.Cfg.NGrid) / float64(s.Cfg.NParticles)
-	return analysis.FindHalos(s.Dom, s.Dec, b*spacing, minN, s.ParticleMassMsun)
+	return s.fof.FindHalos(b*spacing, minN, s.ParticleMassMsun)
 }
 
 // DensityStats deposits the density and returns its statistics. Collective.

@@ -1,12 +1,3 @@
-// Package cosmology provides the FRW background, linear growth of structure,
-// matter transfer functions, linear power spectra, and analytic halo mass
-// functions needed to set up and validate HACC simulations. All formulas are
-// implemented from the primary literature (Peebles 1980; Bardeen et al. 1986;
-// Eisenstein & Hu 1998; Press & Schechter 1974; Sheth & Tormen 1999).
-//
-// Unit conventions: k in h/Mpc, lengths in Mpc/h, masses in Msun/h,
-// H0 = 100h km/s/Mpc so that h never appears explicitly in densities:
-// rho_crit = 2.7754e11 Msun/h / (Mpc/h)^3.
 package cosmology
 
 import (

@@ -1,0 +1,18 @@
+// Package domain implements HACC's particle domain organization: a
+// structure-of-arrays particle store (paper §III), the regular 3-D block
+// decomposition, particle migration, and the particle-overloading scheme of
+// Fig. 4 — full replication of neighbor particles within a boundary shell,
+// so the short-range solvers run entirely rank-local and the long-range
+// solver needs no per-step particle communication.
+//
+// The communication path is a persistent ExchangePlan (PR 3), built once in
+// New from the catch geometry: Migrate and Refresh send one packed message
+// per 26-stencil neighbor leg and split into Begin/End halves so core can
+// hide the exchange behind computation; the dense all-to-all paths survive
+// as equivalence oracles (MigrateDense, RefreshDense). RefreshOrigins
+// records the owner of every passive replica segment, which is what lets
+// the analysis layer stitch cross-rank halos without re-deriving ownership
+// (PR 4). Positions are global grid cells; momenta are p = a²ẋ in grid
+// units per 1/H0 (see DESIGN.md); single precision throughout, per HACC's
+// mixed-precision design.
+package domain

@@ -87,6 +87,8 @@ type ExchangePlan struct {
 	id      int
 	seq     int
 	pending int
+
+	neighbors []int // lazily materialized leg-rank list for Neighbors
 }
 
 // newExchangePlan derives the neighbor stencil and classification table.
@@ -194,6 +196,20 @@ func newExchangePlan(d *Domain) *ExchangePlan {
 // NumLegs returns the number of point-to-point neighbor legs (per-collective
 // messages sent by this rank), for message-count accounting.
 func (pl *ExchangePlan) NumLegs() int { return len(pl.legs) }
+
+// Neighbors returns the neighbor ranks of this rank's 26-stencil exchange
+// legs, in leg (ascending rank) order. The slice is plan-owned; callers that
+// build their own point-to-point protocols over the same stencil (the
+// analysis stitch, for one) must not modify it.
+func (pl *ExchangePlan) Neighbors() []int {
+	if pl.neighbors == nil {
+		pl.neighbors = make([]int, len(pl.legs))
+		for i := range pl.legs {
+			pl.neighbors[i] = pl.legs[i].rank
+		}
+	}
+	return pl.neighbors
+}
 
 func (pl *ExchangePlan) nextTag() int {
 	t := tagExchangeBase | (pl.id&0xff)<<12 | (pl.seq & 0xfff)
@@ -345,9 +361,14 @@ func (d *Domain) RefreshEnd() {
 		panic("domain: RefreshEnd without RefreshBegin")
 	}
 	d.Passive.Reset()
+	d.origins = d.origins[:0]
 	for li := range pl.legs {
+		n0 := d.Passive.Len()
 		d.Passive.unpackParticles(mpi.WaitRecv[uint64](&pl.legs[li].req))
+		d.origins = append(d.origins, Origin{Rank: pl.legs[li].rank, N: d.Passive.Len() - n0})
 	}
+	n0 := d.Passive.Len()
 	d.Passive.unpackParticles(pl.selfPacked)
+	d.origins = append(d.origins, Origin{Rank: d.Comm.Rank(), N: d.Passive.Len() - n0})
 	pl.pending = pendNone
 }

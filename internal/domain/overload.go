@@ -27,6 +27,11 @@ type Domain struct {
 	// Statistics for the bench harness.
 	Migrated int64 // particles moved to a new owner (lifetime count)
 
+	// origins records, for the passive set built by the most recent
+	// Refresh/RefreshEnd (planned or dense), the contiguous owner segments
+	// in storage order; see RefreshOrigins.
+	origins []Origin
+
 	catches []catch // where my actives must be replicated
 
 	// plan is the persistent neighbor-stencil exchange plan behind
@@ -239,6 +244,23 @@ func (d *Domain) MigrateDense() {
 	d.Migrated += moved
 }
 
+// Origin is one contiguous segment of the passive store, attributed to the
+// rank whose active particles it replicates.
+type Origin struct {
+	Rank int // owner rank of the replicated particles
+	N    int // number of consecutive passive particles from that rank
+}
+
+// RefreshOrigins returns the owner segments of the passive store in storage
+// order, as built by the most recent Refresh/RefreshEnd (or RefreshDense):
+// one segment per neighbor leg (possibly empty) followed by the rank's own
+// periodic self-images. Consumers that must route per-replica information
+// back to the owner — the analysis boundary stitch — use this instead of
+// re-deriving ownership from wrapped positions, which float32 shift
+// round-off could misattribute at box edges. The slice is domain-owned and
+// valid until the next refresh.
+func (d *Domain) RefreshOrigins() []Origin { return d.origins }
+
 // RefreshDense is the legacy dense all-to-all refresh (one full particle
 // scan per catch entry), retained as the equivalence oracle for the planned
 // path. Active positions must already be canonical (call Migrate first
@@ -273,10 +295,16 @@ func (d *Domain) RefreshDense() {
 	d.selfF, d.selfI = selfF, selfI
 	recvF := mpi.AllToAll(d.Comm, sendF)
 	recvI := mpi.AllToAll(d.Comm, sendI)
+	d.origins = d.origins[:0]
 	for r := 0; r < p; r++ {
+		if r == d.Comm.Rank() {
+			continue
+		}
 		d.Passive.unpack(recvF[r], recvI[r])
+		d.origins = append(d.origins, Origin{Rank: r, N: len(recvI[r])})
 	}
 	d.Passive.unpack(selfF, selfI)
+	d.origins = append(d.origins, Origin{Rank: d.Comm.Rank(), N: len(selfI)})
 }
 
 // NGlobal returns the total number of active particles across all ranks.

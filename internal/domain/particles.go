@@ -1,9 +1,3 @@
-// Package domain implements HACC's particle domain organization: a
-// structure-of-arrays particle store (paper §III), the regular 3-D block
-// decomposition, particle migration, and the particle-overloading scheme of
-// Fig. 4 — full replication of neighbor particles within a boundary shell,
-// so the short-range solvers run entirely rank-local and the long-range
-// solver needs no per-step particle communication.
 package domain
 
 import "math"

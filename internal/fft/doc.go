@@ -1,0 +1,13 @@
+// Package fft provides fast Fourier transforms of arbitrary length, built
+// from scratch: a mixed-radix Cooley-Tukey decomposition with specialized
+// radix-2/3/4 butterflies, generic small-prime butterflies, and Bluestein's
+// chirp-z algorithm for lengths containing large prime factors. HACC
+// deliberately avoids vendor FFT libraries (paper §I); this package plays
+// the role of its hand-rolled FFT. PR 2 added the real-to-complex path
+// (ForwardReal/InverseReal and their batch forms) via the packed
+// half-length complex transform for even n, which is what the distributed
+// half-spectrum pipeline in pfft builds on.
+//
+// A Plan is immutable after creation and safe for concurrent use by
+// multiple goroutines; per-call scratch comes from an internal pool.
+package fft

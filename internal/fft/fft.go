@@ -1,12 +1,3 @@
-// Package fft provides complex-to-complex fast Fourier transforms of
-// arbitrary length, built from scratch: a mixed-radix Cooley-Tukey
-// decomposition with specialized radix-2/3/4 butterflies, generic small-prime
-// butterflies, and Bluestein's chirp-z algorithm for lengths containing large
-// prime factors. HACC deliberately avoids vendor FFT libraries (paper §I);
-// this package plays the role of its hand-rolled FFT.
-//
-// A Plan is immutable after creation and safe for concurrent use by multiple
-// goroutines; per-call scratch comes from an internal pool.
 package fft
 
 import (

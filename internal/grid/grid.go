@@ -1,7 +1,3 @@
-// Package grid provides distributed scalar fields on a regular 3-D mesh with
-// a block domain decomposition, periodic ghost-cell exchange, and Cloud-In-
-// Cell (CIC) particle deposit/interpolation (Hockney & Eastwood 1988), the
-// grid layer under HACC's spectral particle-mesh solver (paper §II).
 package grid
 
 import (

@@ -1,8 +1,3 @@
-// Package ic generates Zel'dovich initial conditions: a Gaussian random
-// density field drawn from a linear power spectrum, converted to a
-// displacement field in k-space, applied to a uniform particle lattice.
-// Mode amplitudes come from a deterministic per-mode hash, so the same seed
-// produces the same Universe on any rank count and any decomposition.
 package ic
 
 import (

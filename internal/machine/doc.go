@@ -1,0 +1,8 @@
+// Package machine provides flop accounting and the BG/Q machine model used
+// to print paper-style performance columns (PFlops, % of peak) from counted
+// work, alongside honestly measured host wall-clock numbers. Constants come
+// from paper §III. Timers split communication into posted (commpost) and
+// exposed-wait (commwait) phases so the overlapped stepping of PR 3 is
+// visible in the phase tables; PR 4 adds the "analysis" phase for the
+// in-situ pipeline.
+package machine

@@ -1,7 +1,3 @@
-// Package machine provides flop accounting and the BG/Q machine model used
-// to print paper-style performance columns (PFlops, % of peak) from counted
-// work, alongside honestly measured host wall-clock numbers. Constants come
-// from paper §III.
 package machine
 
 import (

@@ -1,0 +1,17 @@
+// Package mpi implements an in-process message-passing runtime modeled on
+// MPI. Ranks are goroutines; point-to-point messages are matched on
+// (communicator, source, tag) and collectives are implemented with the
+// classical distributed algorithms (dissemination barrier, binomial trees,
+// recursive doubling, pairwise exchange) so that the communication pattern
+// of a program is the same as it would be under a real MPI library.
+//
+// PR 3 added the non-blocking API (Request, Isend/Irecv, IrecvInit for
+// allocation-free plan-owned requests, Wait/Test/Testsome): sends are eager
+// — the payload is buffered at post time — and receives match lazily at
+// completion, FIFO per (source, tag), which is what buys real
+// computation/communication overlap when ranks are goroutines.
+//
+// HACC uses MPI for its long/medium-range force framework; this package is
+// the substitute substrate that lets the rest of the code run unmodified at
+// "scale" on a single machine.
+package mpi

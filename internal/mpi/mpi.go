@@ -1,13 +1,3 @@
-// Package mpi implements an in-process message-passing runtime modeled on
-// MPI. Ranks are goroutines; point-to-point messages are matched on
-// (communicator, source, tag) and collectives are implemented with the
-// classical distributed algorithms (dissemination barrier, binomial trees,
-// recursive doubling, pairwise exchange) so that the communication pattern
-// of a program is the same as it would be under a real MPI library.
-//
-// HACC uses MPI for its long/medium-range force framework; this package is
-// the substitute substrate that lets the rest of the code run unmodified at
-// "scale" on a single machine.
 package mpi
 
 import (

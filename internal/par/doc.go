@@ -1,0 +1,11 @@
+// Package par provides a persistent worker pool for the hot per-substep
+// loops (PR 1). Spawning goroutines per parallel region costs several small
+// heap allocations (closure, waitgroup escape, goroutine bookkeeping) —
+// repeated millions of times over a run, that churn is exactly what the
+// paper's "every component threaded, nothing allocated in the main loop"
+// design avoids. A Pool keeps its workers parked on channels between
+// regions, so dispatching a sharded loop allocates only the loop closure
+// itself; plans that must dispatch allocation-free store persistent bodies
+// and publish per-call parameters through plan fields. Resize is the shared
+// grow-in-place policy for every persistent scratch buffer in the codebase.
+package par

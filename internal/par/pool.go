@@ -1,10 +1,3 @@
-// Package par provides a persistent worker pool for the hot per-substep
-// loops. Spawning goroutines per parallel region costs several small heap
-// allocations (closure, waitgroup escape, goroutine bookkeeping) — repeated
-// millions of times over a run, that churn is exactly what the paper's
-// "every component threaded, nothing allocated in the main loop" design
-// avoids. A Pool keeps its workers parked on channels between regions, so
-// dispatching a sharded loop allocates only the loop closure itself.
 package par
 
 import (

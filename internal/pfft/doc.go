@@ -1,0 +1,16 @@
+// Package pfft implements distributed 3-D FFTs over the mpi runtime, with
+// both the slab decomposition (HACC's first-generation FFT, limited to
+// Nrank < N) and the 2-D pencil decomposition (Nrank < N², paper §IV-A).
+// Transposes are pairwise exchanges inside row/column sub-communicators,
+// interleaved with local 1-D FFTs, mirroring the paper's description.
+//
+// Since PR 2 the package is plan-based: Redistributor[T] precomputes a
+// layout-intersection schedule (empty legs dropped, the self overlap a
+// direct copy, pack buffers persistent) for moving data between arbitrary
+// rectangular layouts, and Pencil is a plan in the FFTW sense — four
+// persistent transpose plans, per-stage scratch, pooled batched 1-D
+// transforms, and a real-to-complex path (ForwardReal/InverseReal/
+// ForEachKR) on the Hermitian half grid [n/2+1, n, n] that halves the x
+// transforms, the transposes, and all downstream k-space work. Slices
+// returned by transforms are plan-owned and valid until the next call.
+package pfft

@@ -1,12 +1,3 @@
-// Package pfft implements distributed 3-D FFTs over the mpi runtime, with
-// both the slab decomposition (HACC's first-generation FFT, limited to
-// Nrank < N) and the 2-D pencil decomposition (Nrank < N², paper §IV-A).
-// Transposes are pairwise exchanges inside row/column sub-communicators,
-// interleaved with local 1-D FFTs, mirroring the paper's description.
-//
-// The package also provides a general rectangular re-distribution between
-// arbitrary layouts (used to move PM fields between the 3-D block domain
-// decomposition and FFT pencils).
 package pfft
 
 import "hacc/internal/mpi"

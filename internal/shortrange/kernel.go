@@ -1,12 +1,3 @@
-// Package shortrange implements HACC's short/close-range force machinery
-// (paper §II–III): the polynomial-residual pair kernel
-//
-//	f_SR(s) = (s+ε)^(−3/2) − poly5(s),   s = r·r,  zero beyond r_cut,
-//
-// the numeric construction of poly5 by sampling the filtered PM grid force
-// of a point source and least-squares fitting (the paper's force-matching
-// procedure), and a P3M chaining-mesh evaluator (the Roadrunner-style
-// direct particle-particle solver used as the second short-range backend).
 package shortrange
 
 import "math"

@@ -1,0 +1,183 @@
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"hacc/internal/analysis"
+)
+
+// Section magics for the in-situ analysis products. Both formats reuse the
+// snapshot Header (NP holds the record count) so catalog files are
+// self-describing about the run that produced them.
+const (
+	HaloMagic     = 0x48414C4F // "HALO"
+	SpectrumMagic = 0x50535043 // "PSPC"
+)
+
+// haloWire is the fixed-size on-disk halo record (Members stay in memory —
+// catalogs are the paper's survey product, not particle dumps).
+type haloWire struct {
+	GID        uint64
+	N          int64
+	Mass       float64
+	X, Y, Z    float64
+	VX, VY, VZ float64
+	RMax       float64
+}
+
+// WriteHalos stores one rank's halo catalog to w.
+func WriteHalos(w io.Writer, h Header, halos []analysis.Halo) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	h.NP = uint64(len(halos))
+	for _, v := range []any{uint32(HaloMagic), uint32(Version), h} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("snapshot: write halo header: %w", err)
+		}
+	}
+	for i := range halos {
+		rec := haloWire{
+			GID: halos[i].GID, N: int64(halos[i].N), Mass: halos[i].Mass,
+			X: halos[i].X, Y: halos[i].Y, Z: halos[i].Z,
+			VX: halos[i].VX, VY: halos[i].VY, VZ: halos[i].VZ,
+			RMax: halos[i].RMax,
+		}
+		if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
+			return fmt.Errorf("snapshot: write halo record: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadHalos loads a halo catalog from r.
+func ReadHalos(r io.Reader) (Header, []analysis.Halo, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	h, err := readSectionHeader(br, HaloMagic, "halo catalog")
+	if err != nil {
+		return h, nil, err
+	}
+	halos := make([]analysis.Halo, h.NP)
+	for i := range halos {
+		var rec haloWire
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return h, nil, fmt.Errorf("snapshot: read halo record: %w", err)
+		}
+		halos[i] = analysis.Halo{
+			GID: rec.GID, N: int(rec.N), Mass: rec.Mass,
+			X: rec.X, Y: rec.Y, Z: rec.Z,
+			VX: rec.VX, VY: rec.VY, VZ: rec.VZ,
+			RMax: rec.RMax,
+		}
+	}
+	return h, halos, nil
+}
+
+// WriteSpectrum stores a binned power spectrum to w.
+func WriteSpectrum(w io.Writer, h Header, ps *analysis.PowerSpectrum) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	h.NP = uint64(len(ps.K))
+	for _, v := range []any{uint32(SpectrumMagic), uint32(Version), h} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("snapshot: write spectrum header: %w", err)
+		}
+	}
+	for _, v := range []any{ps.ShotNoise, ps.K, ps.P, ps.NModes} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("snapshot: write spectrum: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpectrum loads a binned power spectrum from r.
+func ReadSpectrum(r io.Reader) (Header, *analysis.PowerSpectrum, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	h, err := readSectionHeader(br, SpectrumMagic, "spectrum")
+	if err != nil {
+		return h, nil, err
+	}
+	n := int(h.NP)
+	ps := &analysis.PowerSpectrum{
+		K: make([]float64, n), P: make([]float64, n), NModes: make([]int64, n),
+	}
+	if err := binary.Read(br, binary.LittleEndian, &ps.ShotNoise); err != nil {
+		return h, nil, fmt.Errorf("snapshot: read spectrum: %w", err)
+	}
+	for _, v := range []any{ps.K, ps.P, ps.NModes} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return h, nil, fmt.Errorf("snapshot: read spectrum: %w", err)
+		}
+	}
+	return h, ps, nil
+}
+
+// readSectionHeader checks a section magic + version and reads the header.
+func readSectionHeader(br io.Reader, magic uint32, what string) (Header, error) {
+	var m, version uint32
+	var h Header
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return h, fmt.Errorf("snapshot: read %s magic: %w", what, err)
+	}
+	if m != magic {
+		return h, fmt.Errorf("snapshot: bad %s magic %#x", what, m)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return h, err
+	}
+	if version != Version {
+		return h, fmt.Errorf("snapshot: unsupported %s version %d", what, version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+		return h, fmt.Errorf("snapshot: read %s header: %w", what, err)
+	}
+	return h, nil
+}
+
+// SaveHalos writes one rank's halo catalog to path.
+func SaveHalos(path string, h Header, halos []analysis.Halo) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteHalos(f, h, halos); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadHalos reads a halo catalog from path.
+func LoadHalos(path string) (Header, []analysis.Halo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	defer f.Close()
+	return ReadHalos(f)
+}
+
+// SaveSpectrum writes a power spectrum to path.
+func SaveSpectrum(path string, h Header, ps *analysis.PowerSpectrum) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSpectrum(f, h, ps); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSpectrum reads a power spectrum from path.
+func LoadSpectrum(path string) (Header, *analysis.PowerSpectrum, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	defer f.Close()
+	return ReadSpectrum(f)
+}

@@ -1,0 +1,8 @@
+// Package snapshot reads and writes the on-disk products of a run in a
+// simple little-endian binary format: particle snapshots (header + SOA
+// arrays), the analogue of the particle outputs the paper's science run
+// stored at 10 intermediate redshifts (§V), and — since PR 4 — the in-situ
+// analysis products, per-rank FOF halo catalogs and binned power spectra,
+// which is how the sky-survey workload records its science without raw
+// particle dumps. All formats share the self-describing Header.
+package snapshot

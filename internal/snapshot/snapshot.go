@@ -1,7 +1,3 @@
-// Package snapshot reads and writes particle snapshots in a simple
-// little-endian binary format (header + SOA arrays), the analogue of the
-// particle outputs the paper's science run stored at 10 intermediate
-// redshifts (§V).
 package snapshot
 
 import (
@@ -53,22 +49,9 @@ func Write(w io.Writer, h Header, p *domain.Particles) error {
 // Read loads a snapshot from r.
 func Read(r io.Reader) (Header, *domain.Particles, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	var magic, version uint32
-	var h Header
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
-		return h, nil, fmt.Errorf("snapshot: read magic: %w", err)
-	}
-	if magic != Magic {
-		return h, nil, fmt.Errorf("snapshot: bad magic %#x", magic)
-	}
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+	h, err := ReadHeader(br)
+	if err != nil {
 		return h, nil, err
-	}
-	if version != Version {
-		return h, nil, fmt.Errorf("snapshot: unsupported version %d", version)
-	}
-	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
-		return h, nil, fmt.Errorf("snapshot: read header: %w", err)
 	}
 	n := int(h.NP)
 	p := &domain.Particles{
@@ -85,6 +68,40 @@ func Read(r io.Reader) (Header, *domain.Particles, error) {
 		return h, nil, fmt.Errorf("snapshot: read ids: %w", err)
 	}
 	return h, p, nil
+}
+
+// ReadHeader reads only the magic, version, and header of a particle
+// snapshot, without decoding the particle payload — for callers that need
+// counts and run metadata up front (haccpower's file scan).
+func ReadHeader(r io.Reader) (Header, error) {
+	var magic, version uint32
+	var h Header
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return h, fmt.Errorf("snapshot: read magic: %w", err)
+	}
+	if magic != Magic {
+		return h, fmt.Errorf("snapshot: bad magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return h, err
+	}
+	if version != Version {
+		return h, fmt.Errorf("snapshot: unsupported version %d", version)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return h, fmt.Errorf("snapshot: read header: %w", err)
+	}
+	return h, nil
+}
+
+// LoadHeader reads only the snapshot header from path.
+func LoadHeader(path string) (Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, err
+	}
+	defer f.Close()
+	return ReadHeader(f)
 }
 
 // SaveFile writes the particles to path.

@@ -1,12 +1,3 @@
-// Package spectral implements HACC's long/medium-range force solver: a
-// spectrally filtered particle-mesh method (paper §II). The "Poisson solve"
-// is the composition of four k-space kernels applied inside a single
-// distributed FFT:
-//
-//   - the isotropizing CIC-noise filter exp(−k²σ²/4)·[sinc(k/2)]^ns (eq. 5),
-//   - a sixth-order periodic influence function (spectral inverse Laplacian),
-//   - fourth-order Super-Lanczos spectral differencing for the gradient,
-//   - the Vlasov-Poisson coupling constant (3/2)Ωm (DESIGN.md code units).
 package spectral
 
 import "math"

@@ -1,17 +1,3 @@
-// Package timestep implements HACC's 2nd-order split-operator symplectic
-// time stepper (paper §II, eq. 6):
-//
-//	M_full(Δ) = M_lr(Δ/2) · (M_sr(Δ/nc))^nc · M_lr(Δ/2)
-//
-// The long/medium-range force is frozen during nc short-range sub-cycles;
-// each sub-cycle is the symmetric SKS map Stream(δ/2)·Kick_sr(δ)·Stream(δ/2).
-// In the code units of DESIGN.md the equations of motion are
-//
-//	dx/da = p/(a³E(a)),   dp/da = −∇ψ/(a²E(a)),
-//
-// so kicks are weighted by ∫da/(a²E) and streams by ∫da/(a³E) over their
-// sub-intervals, which keeps the composition exactly second order in the
-// mapped times.
 package timestep
 
 import (

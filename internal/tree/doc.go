@@ -1,0 +1,19 @@
+// Package tree implements HACC's rank-local recursive coordinate bisection
+// (RCB) tree (paper §III). The design follows the paper's two principles:
+//
+//   - Spatial locality: particles are recursively partitioned in place, so
+//     after the build each subtree occupies a contiguous memory range and
+//     leaf force evaluation touches only nearby memory.
+//   - Walk minimization: leaves are "fat" (tens to hundreds of particles);
+//     every particle in a leaf shares one contiguous interaction list, so
+//     work shifts from slow pointer-chasing walks into the streaming force
+//     kernel.
+//
+// The short-range force is compact (zero beyond RCut), and periodic images
+// are materialized as overloaded replica particles by package domain, so
+// the tree is strictly local with open boundaries and no multipoles. PR 1
+// made Tree and the multi-tree Forest persistent: Rebuild re-partitions in
+// place (retaining coordinate copies, accumulators, the node pool, the
+// leaf cache, and per-worker walk scratch) and ComputeForcesPool walks
+// leaves over par.Pool with a shared atomic cursor.
+package tree
