@@ -1,16 +1,19 @@
-// Command haccpower analyzes particle snapshots written by haccsim with the
-// distributed in-situ pipeline: per-rank snapshot files are scattered over a
-// simulated MPI world, redistributed to their owner ranks, and measured with
-// the planned pencil-r2c P(k) estimator, the distributed FOF halo finder,
-// and the two-point correlation function — the §V statistics pipeline,
-// decoupled from the simulation run.
+// Command haccpower analyzes particle snapshots written by haccsim — or a
+// checkpoint's state container directly — with the distributed in-situ
+// pipeline: particle records are scattered over a simulated MPI world,
+// redistributed to their owner ranks, and measured with the planned
+// pencil-r2c P(k) estimator, the distributed FOF halo finder, and the
+// two-point correlation function — the §V statistics pipeline, decoupled
+// from the simulation run.
 //
 // Usage:
 //
 //	haccpower -snap run.hacc [-ranks 8] [-par 4] [-bins 16] [-fof 0.2]
+//	haccpower -ckpt ckpt/step000008 [-par 4]
 //
-// reads run.hacc, run.hacc.1, …, run.hacc.(ranks-1) and analyzes them on
-// -par simulated ranks.
+// The -snap form reads run.hacc, run.hacc.1, …, run.hacc.(ranks-1); the
+// -ckpt form reads every writer rank's block straight out of one
+// checkpoint state container (an O(1) seek per block).
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"sort"
 
 	"hacc/internal/analysis"
+	"hacc/internal/core"
 	"hacc/internal/cosmology"
 	"hacc/internal/domain"
 	"hacc/internal/grid"
@@ -32,7 +36,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("haccpower: ")
 	var (
-		snapPath = flag.String("snap", "", "snapshot base path (required)")
+		snapPath = flag.String("snap", "", "snapshot base path")
+		ckptPath = flag.String("ckpt", "", "checkpoint step directory (or checkpoint root) to analyze instead of snapshots")
 		ranks    = flag.Int("ranks", 1, "number of per-rank snapshot files")
 		par      = flag.Int("par", 4, "simulated MPI ranks for the distributed analysis")
 		bins     = flag.Int("bins", 16, "power spectrum bins")
@@ -41,43 +46,96 @@ func main() {
 		shot     = flag.Bool("shot", true, "subtract Poisson shot noise from P(k)")
 	)
 	flag.Parse()
-	if *snapPath == "" {
+	if (*snapPath == "") == (*ckptPath == "") {
+		log.Print("exactly one of -snap or -ckpt is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *par < 1 || *bins < 1 || *minN < 1 || *fofB < 0 {
-		log.Fatalf("senseless flags: -par %d -bins %d -minhalo %d -fof %g", *par, *bins, *minN, *fofB)
+	if *par < 1 || *bins < 1 || *minN < 1 || *fofB < 0 || *ranks < 1 {
+		log.Fatalf("senseless flags: -ranks %d -par %d -bins %d -minhalo %d -fof %g", *ranks, *par, *bins, *minN, *fofB)
+	}
+	if *ckptPath != "" {
+		// -ranks counts snapshot files; a checkpoint's writer-rank count
+		// comes from its own rank table, so an explicit -ranks would be
+		// silently ignored — reject it instead.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "ranks" {
+				log.Fatalf("-ranks only applies to -snap inputs; -ckpt reads the writer-rank count from the container")
+			}
+		})
 	}
 
-	// Headers are read up front (cheap) to size the world consistently.
-	paths := make([]string, *ranks)
-	for r := range paths {
-		paths[r] = *snapPath
-		if r > 0 {
-			paths[r] = fmt.Sprintf("%s.%d", *snapPath, r)
+	var (
+		header snapshot.Header
+		np0    int64
+		paths  []string
+		ckDir  string
+	)
+	if *ckptPath != "" {
+		dir, err := core.ResolveCheckpoint(*ckptPath)
+		if err != nil {
+			log.Fatalf("-ckpt %s: %v", *ckptPath, err)
 		}
-	}
-	header, np0, err := scanHeaders(paths)
-	if err != nil {
-		log.Fatal(err)
+		info, err := core.ReadCheckpointInfo(dir)
+		if err != nil {
+			log.Fatalf("-ckpt %s: %v", *ckptPath, err)
+		}
+		ckDir = dir
+		header = snapshot.Header{
+			NGrid:  uint32(info.Cfg.NGrid),
+			BoxMpc: info.Cfg.BoxMpc,
+			A:      info.A,
+			OmegaM: info.Cfg.Cosmo.OmegaM,
+			Seed:   info.Cfg.Seed,
+		}
+		np0 = info.NGlobal
+		log.Printf("checkpoint %s: step %d, %d writer ranks", dir, info.StepIndex, info.NRanks)
+	} else {
+		// Headers are read up front (cheap) to size the world consistently.
+		paths = make([]string, *ranks)
+		for r := range paths {
+			paths[r] = *snapPath
+			if r > 0 {
+				paths[r] = fmt.Sprintf("%s.%d", *snapPath, r)
+			}
+		}
+		var err error
+		header, np0, err = scanHeaders(paths)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	ng := int(header.NGrid)
 	log.Printf("%d particles, grid %d³, box %.0f Mpc/h, a=%.4f (z=%.2f), analyzing on %d ranks",
 		np0, ng, header.BoxMpc, header.A, 1/header.A-1, *par)
 
-	err = mpi.Run(*par, func(c *mpi.Comm) {
+	err := mpi.Run(*par, func(c *mpi.Comm) {
 		dec := grid.NewDecomp([3]int{ng, ng, ng}, *par)
 		dom := domain.New(c, dec, 3)
-		// Each rank loads its share of the files; the dense migration then
+		// Each rank loads its share of the inputs (snapshot files, or writer
+		// blocks of the checkpoint container); the dense migration then
 		// routes every particle to its owner (arbitrary motion, so the
 		// 26-stencil planned path does not apply here).
-		for fi := c.Rank(); fi < len(paths); fi += c.Size() {
-			_, p, err := snapshot.LoadFile(paths[fi])
+		if ckDir != "" {
+			gr, _, err := core.OpenCheckpoint(ckDir)
 			if err != nil {
-				log.Fatalf("reading %s: %v", paths[fi], err)
+				log.Fatal(err)
 			}
-			for i := 0; i < p.Len(); i++ {
-				dom.Active.AppendFrom(p, i)
+			defer gr.Close()
+			for fi := c.Rank(); fi < gr.NumRanks(); fi += c.Size() {
+				if err := snapshot.ReadParticleRank(gr, fi, &dom.Active); err != nil {
+					log.Fatalf("reading %s block %d: %v", ckDir, fi, err)
+				}
+			}
+		} else {
+			for fi := c.Rank(); fi < len(paths); fi += c.Size() {
+				_, p, err := snapshot.LoadFile(paths[fi])
+				if err != nil {
+					log.Fatalf("reading %s: %v", paths[fi], err)
+				}
+				for i := 0; i < p.Len(); i++ {
+					dom.Active.AppendFrom(p, i)
+				}
 			}
 		}
 		dom.MigrateDense()

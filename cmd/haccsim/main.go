@@ -1,48 +1,75 @@
 // Command haccsim runs a full HACC simulation from command-line flags,
 // reporting per-step progress, the final power spectrum, the halo mass
 // function, and the performance summary; optionally it writes particle
-// snapshots.
+// snapshots and cadenced checkpoints, and resumes interrupted runs.
 //
 // Example:
 //
 //	haccsim -ranks 8 -np 64 -box 250 -zinit 50 -zfinal 0 -steps 24 \
-//	        -solver tree -snap final.hacc
+//	        -solver tree -snap final.hacc -ckpt-dir ckpt -ckpt-every 4
+//
+// An interrupted run resumes from its newest checkpoint (the physics
+// configuration is stored inside the checkpoint; only output/threading
+// flags may be combined with -restart):
+//
+//	haccsim -restart ckpt
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"time"
 
 	"hacc/internal/core"
 	"hacc/internal/cosmology"
 	"hacc/internal/mpi"
-	"hacc/internal/snapshot"
 )
+
+// physicsFlags are rejected alongside -restart: the checkpoint itself
+// defines the physics, and core.Restore enforces the same rule through the
+// config fingerprint — this check just fails earlier, with a clearer
+// message, before a world is spun up.
+var physicsFlags = map[string]bool{
+	"np": true, "ng": true, "box": true, "zinit": true, "zfinal": true,
+	"steps": true, "nc": true, "seed": true, "solver": true,
+	"transfer": true, "fixed": true,
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("haccsim: ")
 	var (
-		ranks    = flag.Int("ranks", 4, "simulated MPI ranks")
-		np       = flag.Int("np", 32, "particles per dimension")
-		ng       = flag.Int("ng", 0, "PM grid per dimension (default: np)")
-		box      = flag.Float64("box", 150, "box side in Mpc/h")
-		zInit    = flag.Float64("zinit", 24, "initial redshift")
-		zFinal   = flag.Float64("zfinal", 0, "final redshift")
-		steps    = flag.Int("steps", 12, "full long-range steps")
-		nc       = flag.Int("nc", 5, "short-range sub-cycles per step")
-		seed     = flag.Uint64("seed", 42, "random seed")
-		solver   = flag.String("solver", "tree", "short-range solver: tree|p3m|pm")
-		transfer = flag.String("transfer", "eh-nowiggle", "transfer function: eh|eh-nowiggle|bbks")
-		threads  = flag.Int("threads", 2, "kernel threads per rank")
-		fixed    = flag.Bool("fixed", false, "fixed-amplitude initial conditions")
-		snapPath = flag.String("snap", "", "write a final snapshot to this path")
-		pkBins   = flag.Int("pkbins", 16, "power spectrum bins")
+		ranks     = flag.Int("ranks", 4, "simulated MPI ranks")
+		np        = flag.Int("np", 32, "particles per dimension")
+		ng        = flag.Int("ng", 0, "PM grid per dimension (default: np)")
+		box       = flag.Float64("box", 150, "box side in Mpc/h")
+		zInit     = flag.Float64("zinit", 24, "initial redshift")
+		zFinal    = flag.Float64("zfinal", 0, "final redshift")
+		steps     = flag.Int("steps", 12, "full long-range steps")
+		nc        = flag.Int("nc", 5, "short-range sub-cycles per step")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		solver    = flag.String("solver", "tree", "short-range solver: tree|p3m|pm")
+		transfer  = flag.String("transfer", "eh-nowiggle", "transfer function: eh|eh-nowiggle|bbks")
+		threads   = flag.Int("threads", 2, "kernel threads per rank")
+		fixed     = flag.Bool("fixed", false, "fixed-amplitude initial conditions")
+		snapPath  = flag.String("snap", "", "write a final snapshot to this path")
+		pkBins    = flag.Int("pkbins", 16, "power spectrum bins")
+		ckptDir   = flag.String("ckpt-dir", "", "write cadenced checkpoints under this directory")
+		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint after every Nth full step (requires -ckpt-dir)")
+		restart   = flag.String("restart", "", "resume from a checkpoint (a step directory or a -ckpt-dir root)")
 	)
 	flag.Parse()
+	if err := validateFlags(*ranks, *np, *ng, *box, *zInit, *zFinal, *steps, *nc,
+		*threads, *pkBins, *solver, *transfer, *ckptDir, *ckptEvery, *restart); err != nil {
+		log.Fatal(err)
+	}
+
+	// explicit records which flags the user actually set, so a restart
+	// overrides only what was asked for and inherits the rest from the
+	// checkpointed config.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	var kind core.SolverKind
 	switch *solver {
@@ -52,30 +79,71 @@ func main() {
 		kind = core.P3M
 	case "pm":
 		kind = core.PMOnly
-	default:
-		log.Fatalf("unknown solver %q", *solver)
 	}
-	cfg := core.Config{
-		NGrid: orInt(*ng, *np), NParticles: *np, BoxMpc: *box,
-		Cosmo: cosmology.Default(), Transfer: *transfer,
-		ZInit: *zInit, ZFinal: *zFinal, Steps: *steps, SubCycles: *nc,
-		Seed: *seed, FixedAmp: *fixed, Solver: kind, Threads: *threads,
+
+	var stepDir string
+	var cfg core.Config
+	if *restart != "" {
+		dir, err := core.ResolveCheckpoint(*restart)
+		if err != nil {
+			log.Fatalf("-restart %s: %v", *restart, err)
+		}
+		info, err := core.ReadCheckpointInfo(dir)
+		if err != nil {
+			log.Fatalf("-restart %s: %v", *restart, err)
+		}
+		stepDir = dir
+		cfg = info.Cfg
+		// Unless the user explicitly asked for a different world size,
+		// resume at the writing rank count — that is the bitwise-exact
+		// restart path; a changed -ranks goes through geometric
+		// reassignment instead.
+		if !explicit["ranks"] {
+			*ranks = info.NRanks
+		}
+		log.Printf("resuming from %s: step %d/%d, a=%.4f, %d particles (written at %d ranks)",
+			dir, info.StepIndex, cfg.Steps, info.A, info.NGlobal, info.NRanks)
+	} else {
+		cfg = core.Config{
+			NGrid: orInt(*ng, *np), NParticles: *np, BoxMpc: *box,
+			Cosmo: cosmology.Default(), Transfer: *transfer,
+			ZInit: *zInit, ZFinal: *zFinal, Steps: *steps, SubCycles: *nc,
+			Seed: *seed, FixedAmp: *fixed, Solver: kind, Threads: *threads,
+			CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
+		}
 	}
 
 	start := time.Now()
 	err := mpi.Run(*ranks, func(c *mpi.Comm) {
-		s, err := core.New(c, cfg)
+		var s *core.Simulation
+		var err error
+		if stepDir != "" {
+			s, err = core.Restore(c, stepDir, func(cfg *core.Config) {
+				// Only explicitly-set neutral knobs override the checkpoint.
+				if explicit["threads"] {
+					cfg.Threads = *threads
+				}
+				if explicit["ckpt-dir"] || explicit["ckpt-every"] {
+					cfg.CheckpointDir = *ckptDir
+					cfg.CheckpointEvery = *ckptEvery
+				}
+			})
+		} else {
+			s, err = core.New(c, cfg)
+		}
 		if err != nil {
 			panic(err)
 		}
+		nsteps := s.Cfg.Steps
 		if c.Rank() == 0 {
 			log.Printf("%s: %d^3 particles, %d^3 grid, %.0f Mpc/h box, %d ranks, z=%.1f→%.1f in %d steps ×%d sub-cycles",
-				kind, *np, s.Cfg.NGrid, *box, *ranks, *zInit, *zFinal, *steps, *nc)
+				s.Cfg.Solver, s.Cfg.NParticles, s.Cfg.NGrid, s.Cfg.BoxMpc, *ranks,
+				s.Cfg.ZInit, s.Cfg.ZFinal, nsteps, s.Cfg.SubCycles)
 			log.Printf("particle mass %.3e Msun/h", s.ParticleMassMsun)
 		}
 		err = s.Run(func(step int, a float64) {
 			if c.Rank() == 0 {
-				log.Printf("step %3d/%d  a=%.4f  z=%6.2f", step, *steps, a, 1/a-1)
+				log.Printf("step %3d/%d  a=%.4f  z=%6.2f", step, nsteps, a, 1/a-1)
 			}
 		})
 		if err != nil {
@@ -108,11 +176,7 @@ func main() {
 			if c.Rank() != 0 {
 				path = fmt.Sprintf("%s.%d", *snapPath, c.Rank())
 			}
-			h := snapshot.Header{
-				NGrid: uint32(s.Cfg.NGrid), BoxMpc: *box, A: s.A,
-				OmegaM: cfg.Cosmo.OmegaM, Seed: *seed,
-			}
-			if err := snapshot.SaveFile(path, h, &s.Dom.Active); err != nil {
+			if err := s.SaveSnapshot(path); err != nil {
 				panic(err)
 			}
 			if c.Rank() == 0 {
@@ -123,7 +187,63 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	_ = os.Stdout
+}
+
+// validateFlags rejects nonsensical flag combinations with one-line errors
+// before any world is spun up, instead of panicking ranks mid-run.
+func validateFlags(ranks, np, ng int, box, zInit, zFinal float64, steps, nc,
+	threads, pkBins int, solver, transfer, ckptDir string, ckptEvery int, restart string) error {
+	switch {
+	case ranks < 1:
+		return fmt.Errorf("-ranks %d must be ≥1", ranks)
+	case threads < 1:
+		return fmt.Errorf("-threads %d must be ≥1", threads)
+	case pkBins < 1:
+		return fmt.Errorf("-pkbins %d must be ≥1", pkBins)
+	case ckptEvery < 0:
+		return fmt.Errorf("-ckpt-every %d must be ≥0 (0 disables checkpoints)", ckptEvery)
+	case ckptEvery > 0 && ckptDir == "":
+		return fmt.Errorf("-ckpt-every %d needs -ckpt-dir", ckptEvery)
+	case ckptEvery == 0 && ckptDir != "":
+		return fmt.Errorf("-ckpt-dir %s needs -ckpt-every ≥1", ckptDir)
+	}
+	switch solver {
+	case "tree", "p3m", "pm":
+	default:
+		return fmt.Errorf("unknown -solver %q (want tree|p3m|pm)", solver)
+	}
+	switch transfer {
+	case "eh", "eh-nowiggle", "bbks":
+	default:
+		return fmt.Errorf("unknown -transfer %q (want eh|eh-nowiggle|bbks)", transfer)
+	}
+	if restart != "" {
+		var conflict string
+		flag.Visit(func(f *flag.Flag) {
+			if physicsFlags[f.Name] && conflict == "" {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-restart takes the physics from the checkpoint; drop -%s (only output/threading flags may be combined)", conflict)
+		}
+		return nil // problem-definition flags are unused on restart
+	}
+	switch {
+	case np < 2:
+		return fmt.Errorf("-np %d must be ≥2", np)
+	case ng < 0:
+		return fmt.Errorf("-ng %d must be ≥0 (0 means -np)", ng)
+	case box <= 0:
+		return fmt.Errorf("-box %g must be positive", box)
+	case zInit <= zFinal:
+		return fmt.Errorf("-zinit %g must exceed -zfinal %g", zInit, zFinal)
+	case steps < 1:
+		return fmt.Errorf("-steps %d must be ≥1", steps)
+	case nc < 1:
+		return fmt.Errorf("-nc %d must be ≥1", nc)
+	}
+	return nil
 }
 
 func orInt(v, d int) int {

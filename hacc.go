@@ -34,8 +34,12 @@
 //   - internal/ic         — Zel'dovich Gaussian random field ICs
 //   - internal/cosmology  — background, growth, transfer functions, σ8
 //   - internal/analysis   — P(k), FOF halos, sub-halos, density statistics
+//   - internal/gio        — self-describing CRC-protected parallel container
+//     I/O (GenericIO-style)
+//   - internal/snapshot   — particle/catalog/spectrum products on the
+//     container format
 //   - internal/machine    — flop accounting, BG/Q projection model
-//   - internal/core       — the assembled framework
+//   - internal/core       — the assembled framework, checkpoint/restart
 package hacc
 
 import (
@@ -80,6 +84,17 @@ func RunParallel(n int, fn func(c *Comm)) error { return mpi.Run(n, fn) }
 
 // NewSimulation builds a simulation on the calling rank (collective).
 func NewSimulation(c *Comm, cfg Config) (*Simulation, error) { return core.New(c, cfg) }
+
+// RestoreSimulation resumes a simulation from a checkpoint step directory
+// (collective). The physics configuration comes from the checkpoint; mutate
+// may adjust bitwise-neutral knobs only. See core.Restore.
+func RestoreSimulation(c *Comm, dir string, mutate func(*Config)) (*Simulation, error) {
+	return core.Restore(c, dir, mutate)
+}
+
+// ResolveCheckpoint accepts a checkpoint step directory or a cadenced
+// checkpoint root and returns the newest restorable step directory.
+func ResolveCheckpoint(path string) (string, error) { return core.ResolveCheckpoint(path) }
 
 // DefaultCosmology returns the WMAP-7-like parameters of the paper's runs.
 func DefaultCosmology() CosmologyParams { return cosmology.Default() }

@@ -1,0 +1,93 @@
+package core
+
+// Checkpoint I/O benchmarks (PR 5). BenchmarkCheckpoint measures the warm
+// collective write path — MB/s of particle-state throughput and allocs/op
+// (the data path reuses writer-owned scratch, so allocations are O(1)
+// bookkeeping, not O(particles)) — and BenchmarkRestore the matching read
+// path including CRC verification and replica restore. See the DESIGN.md
+// benchmark index.
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"hacc/internal/mpi"
+)
+
+// ckptBytes is the per-container payload: 6 float32 columns + 1 uint64 ID
+// column per particle, actives (state) plus replicas.
+func ckptBytes(s *Simulation) int64 {
+	per := int64(6*4 + 8)
+	return per * int64(s.Dom.Active.Len()+s.Dom.Passive.Len())
+}
+
+func benchSim(b *testing.B, ranks int) (*Simulation, func()) {
+	b.Helper()
+	// One-rank world, held open while the benchmark loop drives the
+	// simulation from the test goroutine (size-1 collectives never block).
+	if ranks != 1 {
+		b.Fatal("benchSim supports one rank")
+	}
+	done := make(chan struct{})
+	ready := make(chan *Simulation)
+	go func() {
+		err := mpi.Run(1, func(c *mpi.Comm) {
+			s, err := New(c, Config{
+				NGrid: 32, NParticles: 32, BoxMpc: 150,
+				ZInit: 24, ZFinal: 2, Steps: 1, Solver: PMOnly, Seed: 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+			ready <- s
+			<-done
+		})
+		if err != nil {
+			panic(err)
+		}
+	}()
+	var once sync.Once
+	return <-ready, func() { once.Do(func() { close(done) }) }
+}
+
+func BenchmarkCheckpoint(b *testing.B) {
+	s, stop := benchSim(b, 1)
+	defer stop()
+	dir := filepath.Join(b.TempDir(), "ck")
+	if err := s.Checkpoint(dir); err != nil { // warm the writer + scratch
+		b.Fatal(err)
+	}
+	b.SetBytes(ckptBytes(s))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Checkpoint(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRestore(b *testing.B) {
+	s, stop := benchSim(b, 1)
+	defer stop()
+	dir := filepath.Join(b.TempDir(), "ck")
+	if err := s.Checkpoint(dir); err != nil {
+		b.Fatal(err)
+	}
+	bytes := ckptBytes(s)
+	stop() // the restore worlds are spun up per iteration
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(1, func(c *mpi.Comm) {
+			if _, err := Restore(c, dir, nil); err != nil {
+				panic(err)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -101,6 +101,19 @@ type Config struct {
 	// spectrum per analysis step. Empty keeps results in memory only
 	// (Simulation.LastAnalysis).
 	AnalysisDir string
+
+	// Checkpointing (the paper-era production campaigns ran as chains of
+	// restarts; see DESIGN.md "Checkpoint / restart"). CheckpointEvery
+	// writes a restart-exact checkpoint — one collective gio container per
+	// state product — after every CheckpointEvery-th full step, into a
+	// step%06d subdirectory of CheckpointDir. 0 disables cadenced
+	// checkpoints (the default; Simulation.Checkpoint can still be called
+	// manually); negative values are rejected by Validate, as is setting
+	// one of the pair without the other. The active-particle write legally
+	// overlaps the deferred end-of-step refresh (the replicas are written
+	// after it completes), the same pattern as the in-situ P(k).
+	CheckpointEvery int
+	CheckpointDir   string
 }
 
 // WithDefaults returns the config with defaults filled in.
@@ -206,7 +219,47 @@ func (c Config) Validate() error {
 				b, c.FOFLinking, spacing, c.Overload)
 		}
 	}
+	// Checkpoint knobs: cadence and directory come as a pair, so a typo in
+	// one cannot silently disable durability for a multi-day run.
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("core: CheckpointEvery %d must be ≥0 (0 disables cadenced checkpoints)", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointDir == "" {
+		return fmt.Errorf("core: CheckpointEvery %d needs CheckpointDir", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery == 0 && c.CheckpointDir != "" {
+		return fmt.Errorf("core: CheckpointDir %q needs CheckpointEvery ≥1", c.CheckpointDir)
+	}
 	return nil
+}
+
+// Fingerprint hashes every configuration field that affects the bitwise
+// trajectory of the run — the problem definition, the integrator schedule,
+// and the solver parameters (including ThreadedCIC, whose deposit order
+// differs from the serial one). Output knobs, thread counts, and
+// communication overlap are excluded: they are bitwise-neutral (pinned by
+// the PR 1–3 equivalence tests), so a restart may legally change them. A
+// checkpoint stores the fingerprint of the config that produced it, and
+// Restore refuses a config whose fingerprint differs — restart-exactness
+// cannot be promised across a physics change. Call on a defaulted config
+// (WithDefaults), as Checkpoint does, so explicit and defaulted spellings
+// of the same run match.
+func (c Config) Fingerprint() uint64 {
+	h := uint64(14695981039346656037) // FNV-1a
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+		h = (h ^ 0xff) * 1099511628211
+	}
+	mix(fmt.Sprintf("%d %d %g %#v %q %g %g %d %d %d %t",
+		c.NGrid, c.NParticles, c.BoxMpc, c.Cosmo, c.Transfer,
+		c.ZInit, c.ZFinal, c.Steps, c.SubCycles, c.Seed, c.FixedAmp))
+	mix(fmt.Sprintf("%d %g %d %g %g %g %d %t %t %d %d %t",
+		c.Solver, c.RCut, c.LeafSize, c.Overload, c.Eps, c.Sigma,
+		c.NsFilter, c.DisableFilter, c.SlabFFT, c.FitGridN, c.NTrees,
+		c.ThreadedCIC))
+	return h
 }
 
 // TransferFunc resolves the configured transfer function.

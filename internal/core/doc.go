@@ -8,7 +8,17 @@
 // A Simulation owns every persistent plan for the life of the run: the
 // worker pool and short-range solver scratch (PR 1), the planned spectral
 // Poisson solver (PR 2), the neighbor-stencil exchange plans with
-// overlapped Begin/End stepping (PR 3), and the in-situ FOF and P(k)
-// plans driven by Config.AnalysisEvery (PR 4). The hot stepping path
+// overlapped Begin/End stepping (PR 3), the in-situ FOF and P(k) plans
+// driven by Config.AnalysisEvery (PR 4), and the collective checkpoint
+// writer driven by Config.CheckpointEvery (PR 5). The hot stepping path
 // allocates nothing after the first sub-cycle.
+//
+// Checkpoint/Restore make the run durable: a checkpoint captures the
+// complete run state (active and replica particles, counters, schedule
+// position, scale factor, seed, and config fingerprint) in gio containers,
+// overlapping the state write with the deferred end-of-step refresh, and a
+// restore at the writing rank count continues bitwise-identically — at a
+// different rank count, records are reassigned through the domain
+// geometry. All checkpoint failures are collectively agreed (mpi.AllOK),
+// so every rank observes one consistent outcome.
 package core

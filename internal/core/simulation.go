@@ -76,6 +76,11 @@ type Simulation struct {
 	fof          *analysis.Plan
 	power        *analysis.Power
 	LastAnalysis *InSituResult
+
+	// ckpt is the persistent checkpoint machinery (collective gio writer,
+	// immutable config JSON + fingerprint, reusable meta/var/counter
+	// buffers), built on first Checkpoint.
+	ckpt *ckptState
 }
 
 // InSituResult is one in-situ analysis product: the rank's share of the
@@ -102,6 +107,35 @@ type shortScratch struct {
 
 // New builds the simulation and generates initial conditions. Collective.
 func New(c *mpi.Comm, cfg Config) (*Simulation, error) {
+	s, err := newSimulation(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Initial conditions.
+	err = ic.Generate(c, s.Dec, s.LP, ic.Options{
+		Np:     s.Cfg.NParticles,
+		BoxMpc: s.Cfg.BoxMpc,
+		AInit:  s.sched.AInit,
+		Seed:   s.Cfg.Seed,
+		Fixed:  s.Cfg.FixedAmp,
+	}, s.Dom)
+	if err != nil {
+		return nil, err
+	}
+	s.Dom.Refresh()
+	s.A = s.sched.AInit
+	if s.Cfg.AnalysisEvery > 0 {
+		s.ensureAnalysis(s.Cfg.AnalysisBins)
+	}
+	return s, nil
+}
+
+// newSimulation builds every persistent structure of a rank — domain,
+// fields, exchangers, spectral plan, short-range kernel, worker pool —
+// without populating particles. New generates initial conditions on top;
+// Restore loads a checkpoint instead. Collective (the kernel fit is
+// broadcast from rank 0).
+func newSimulation(c *mpi.Comm, cfg Config) (*Simulation, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -178,23 +212,6 @@ func New(c *mpi.Comm, cfg Config) (*Simulation, error) {
 		gm := 1.5 * cfg.Cosmo.OmegaM * s.ParticleMass / (4 * math.Pi)
 		s.Kernel = shortrange.NewKernel(poly, cfg.RCut, cfg.Eps, gm)
 	}
-
-	// Initial conditions.
-	err := ic.Generate(c, s.Dec, s.LP, ic.Options{
-		Np:     cfg.NParticles,
-		BoxMpc: cfg.BoxMpc,
-		AInit:  s.sched.AInit,
-		Seed:   cfg.Seed,
-		Fixed:  cfg.FixedAmp,
-	}, s.Dom)
-	if err != nil {
-		return nil, err
-	}
-	s.Dom.Refresh()
-	s.A = s.sched.AInit
-	if cfg.AnalysisEvery > 0 {
-		s.ensureAnalysis(cfg.AnalysisBins)
-	}
 	return s, nil
 }
 
@@ -234,6 +251,9 @@ func (s *Simulation) Step() error {
 		return err
 	}
 	if err := s.maybeAnalyze(); err != nil {
+		return err
+	}
+	if err := s.maybeCheckpoint(); err != nil {
 		return err
 	}
 	s.FinishRefresh()
@@ -300,6 +320,9 @@ func (s *Simulation) Run(cb func(step int, a float64)) error {
 			return err
 		}
 		if err := s.maybeAnalyze(); err != nil {
+			return err
+		}
+		if err := s.maybeCheckpoint(); err != nil {
 			return err
 		}
 		if cb != nil {
@@ -628,6 +651,20 @@ func (s *Simulation) FindHalos(b float64, minN int) []analysis.Halo {
 	s.ensureFOF()
 	spacing := float64(s.Cfg.NGrid) / float64(s.Cfg.NParticles)
 	return s.fof.FindHalos(b*spacing, minN, s.ParticleMassMsun)
+}
+
+// SaveSnapshot writes this rank's active particles to path as a particle
+// snapshot container carrying the run's header (grid, box, scale factor,
+// cosmology, seed). Per-rank products use per-rank paths, as in haccsim.
+func (s *Simulation) SaveSnapshot(path string) error {
+	h := snapshot.Header{
+		NGrid:  uint32(s.Cfg.NGrid),
+		BoxMpc: s.Cfg.BoxMpc,
+		A:      s.A,
+		OmegaM: s.Cfg.Cosmo.OmegaM,
+		Seed:   s.Cfg.Seed,
+	}
+	return snapshot.SaveFile(path, h, &s.Dom.Active)
 }
 
 // DensityStats deposits the density and returns its statistics. Collective.

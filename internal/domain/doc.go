@@ -12,7 +12,9 @@
 // as equivalence oracles (MigrateDense, RefreshDense). RefreshOrigins
 // records the owner of every passive replica segment, which is what lets
 // the analysis layer stitch cross-rank halos without re-deriving ownership
-// (PR 4). Positions are global grid cells; momenta are p = a²ẋ in grid
+// (PR 4), and SetOrigins installs those segments back from a checkpoint's
+// replica container (PR 5). Positions are global grid cells; momenta are
+// p = a²ẋ in grid
 // units per 1/H0 (see DESIGN.md); single precision throughout, per HACC's
 // mixed-precision design.
 package domain

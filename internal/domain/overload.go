@@ -261,6 +261,30 @@ type Origin struct {
 // valid until the next refresh.
 func (d *Domain) RefreshOrigins() []Origin { return d.origins }
 
+// SetOrigins installs passive-origin segments restored from a checkpoint,
+// replacing whatever the last refresh recorded. The segments must name
+// valid ranks and cover the current passive store exactly — a checkpoint
+// whose replica blocks and origin table disagree is rejected here rather
+// than silently misattributing replicas. The slice is adopted
+// (domain-owned afterwards, like RefreshOrigins' result).
+func (d *Domain) SetOrigins(origins []Origin) error {
+	n := 0
+	for _, o := range origins {
+		if o.Rank < 0 || o.Rank >= d.Comm.Size() {
+			return fmt.Errorf("domain: restored origin names rank %d of %d", o.Rank, d.Comm.Size())
+		}
+		if o.N < 0 {
+			return fmt.Errorf("domain: restored origin has negative length %d", o.N)
+		}
+		n += o.N
+	}
+	if n != d.Passive.Len() {
+		return fmt.Errorf("domain: restored origins cover %d replicas, passive store holds %d", n, d.Passive.Len())
+	}
+	d.origins = origins
+	return nil
+}
+
 // RefreshDense is the legacy dense all-to-all refresh (one full particle
 // scan per catch entry), retained as the equivalence oracle for the planned
 // path. Active positions must already be canonical (call Migrate first

@@ -1,0 +1,27 @@
+// Package gio is a GenericIO-inspired self-describing container format for
+// every durable product the simulation emits: checkpoints, particle
+// snapshots, halo catalogs, and power spectra (PR 5; HACC's GenericIO
+// library, arXiv:1410.2805 §IV).
+//
+// A container holds, per writer rank, a set of named typed columns
+// (float32/float64/int64/uint64), each protected by a CRC32-C footer. The
+// front of the file is a self-describing index — column table, caller meta
+// blob, and a per-rank (offset, rows) table — protected by its own CRC and
+// validated structurally against the real file size before any
+// header-declared quantity is trusted, so truncated or corrupt files fail
+// loudly instead of over-allocating. The rank table makes reading any
+// writer rank's data an O(1) seek regardless of container size, and a
+// reader may run at a different rank count than the writer: each reading
+// rank adopts a round-robin share of the writer blocks and the domain layer
+// reassigns records to their geometric owners.
+//
+// Two write paths share the byte layout exactly. WriteTo streams a
+// single-rank container to an io.Writer (per-rank snapshot files).
+// Writer.Write is collective: the per-rank block offsets are computed from
+// one AllGather of row counts, every rank then writes its disjoint region
+// of a shared temporary file through its own descriptor (the MPI-IO
+// pattern), failures are agreed via mpi.AllOK so all ranks observe one
+// outcome, and rank 0 atomically renames the finished container into
+// place. Writer scratch persists across calls, so a warm collective write
+// allocates nothing beyond file descriptors and the index exchange.
+package gio

@@ -1,0 +1,319 @@
+package gio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hacc/internal/mpi"
+)
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
+// appendIndex assembles the complete index region (header, var table, meta,
+// rank table) for the given layout onto dst and returns it, with the index
+// CRC computed and patched in. allRows holds nranks×nvars row counts in
+// rank-major order.
+func appendIndex(dst []byte, meta []byte, vars []Var, allRows []uint64, nranks int) []byte {
+	base := len(dst)
+	nv := len(vars)
+	dataStart := uint64(indexSize(nv, nranks, len(meta)))
+	fileSize := dataStart
+	for r := 0; r < nranks; r++ {
+		for v := 0; v < nv; v++ {
+			fileSize += blockSize(allRows[r*nv+v], vars[v].Type.Size())
+		}
+	}
+
+	var u32 [4]byte
+	var u64 [8]byte
+	put32 := func(v uint32) { binary.LittleEndian.PutUint32(u32[:], v); dst = append(dst, u32[:]...) }
+	put64 := func(v uint64) { binary.LittleEndian.PutUint64(u64[:], v); dst = append(dst, u64[:]...) }
+
+	dst = append(dst, magic[:]...)
+	put32(Version)
+	put32(uint32(nranks))
+	put32(uint32(nv))
+	put32(uint32(len(meta)))
+	put64(dataStart)
+	put64(fileSize)
+	put32(0) // index CRC, patched below
+	put32(0) // reserved
+
+	var name [nameSize]byte
+	for i := range vars {
+		copy(name[:], vars[i].Name)
+		for k := len(vars[i].Name); k < nameSize; k++ {
+			name[k] = 0
+		}
+		dst = append(dst, name[:]...)
+		put32(uint32(vars[i].Type))
+		put32(uint32(vars[i].Type.Size()))
+	}
+	dst = append(dst, meta...)
+	off := dataStart
+	for r := 0; r < nranks; r++ {
+		put64(off)
+		for v := 0; v < nv; v++ {
+			rows := allRows[r*nv+v]
+			put64(rows)
+			off += blockSize(rows, vars[v].Type.Size())
+		}
+	}
+	crc := crc32.Checksum(dst[base:], castagnoli)
+	binary.LittleEndian.PutUint32(dst[base+40:], crc)
+	return dst
+}
+
+// streamBlock encodes one column in chunks through buf — maintaining the
+// running CRC32-C — and hands each chunk, then the 4-byte CRC footer, to
+// emit. Both write paths (sequential WriteTo, collective writeBlocksAt)
+// share it, which is what keeps their containers byte-identical by
+// construction. buf's contents are clobbered; it must hold at least one
+// element.
+func streamBlock(v *Var, buf []byte, emit func([]byte) error) error {
+	n := v.rows()
+	per := len(buf) / v.Type.Size()
+	crc := uint32(0)
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		k := encodeRange(v, lo, hi, buf)
+		crc = crc32.Update(crc, castagnoli, buf[:k])
+		if err := emit(buf[:k]); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[:crcFooterSize], crc)
+	return emit(buf[:crcFooterSize])
+}
+
+// WriteTo writes a single-rank container to a sequential stream. The output
+// is byte-identical to what Writer.Write produces on a one-rank
+// communicator, so single-file products (per-rank snapshots, catalogs,
+// spectra) and collective checkpoints share one on-disk layout.
+func WriteTo(w io.Writer, meta []byte, vars []Var) error {
+	if err := validateVars(vars); err != nil {
+		return err
+	}
+	rows := make([]uint64, len(vars))
+	for i := range vars {
+		rows[i] = uint64(vars[i].rows())
+	}
+	if _, err := w.Write(appendIndex(nil, meta, vars, rows, 1)); err != nil {
+		return fmt.Errorf("gio: writing container index: %w", err)
+	}
+	buf := make([]byte, chunkBytes)
+	for i := range vars {
+		v := &vars[i]
+		err := streamBlock(v, buf, func(b []byte) error {
+			if _, err := w.Write(b); err != nil {
+				return fmt.Errorf("gio: writing column %q: %w", v.Name, err)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Writer writes containers collectively: every rank of the communicator
+// contributes its own column blocks to one logical file. The rank-offset
+// index is computed from an AllGather of per-rank row counts, so all ranks
+// write disjoint regions concurrently (each through its own descriptor,
+// as with MPI-IO) and a reader seeks to any rank's data in O(1).
+//
+// All scratch (conversion chunks, row tables, the rank-0 index image) is
+// Writer-owned and reused, so a warm Write allocates nothing beyond the
+// file descriptors and the small collective index exchange. One Writer
+// belongs to one rank; Write is collective and must be called by every
+// rank with the same path and column schema.
+type Writer struct {
+	c     *mpi.Comm
+	buf   []byte   // chunk conversion buffer
+	rows  []uint64 // local per-column row counts
+	index []byte   // rank-0 index assembly buffer
+}
+
+// NewWriter creates a collective container writer for this rank.
+func NewWriter(c *mpi.Comm) *Writer { return &Writer{c: c} }
+
+// Write writes one container collectively. meta is taken from rank 0 (other
+// ranks may pass nil); vars must declare the same columns in the same order
+// on every rank, each holding the local rank's rows. The container is
+// assembled under a temporary name and atomically renamed into place once
+// every rank's blocks (and their CRC footers) are on disk, so a crash
+// mid-write never leaves a half-written file under the final path.
+func (w *Writer) Write(path string, meta []byte, vars []Var) error {
+	c := w.c
+	p := c.Size()
+	me := c.Rank()
+	nv := len(vars)
+
+	// Collective agreement: every rank's columns must validate locally and
+	// hash to the same schema before anyone touches the filesystem.
+	verr := validateVars(vars)
+	probe := [2]uint64{0, 0}
+	if verr == nil {
+		probe = [2]uint64{1, schemaHash(vars)}
+	}
+	agree := mpi.AllGather(c, probe[:])
+	for r := 0; r < p; r++ {
+		if agree[2*r] == 0 {
+			if verr != nil {
+				return fmt.Errorf("gio: writing %s: %w", path, verr)
+			}
+			return fmt.Errorf("gio: writing %s: invalid columns on rank %d", path, r)
+		}
+	}
+	for r := 1; r < p; r++ {
+		if agree[2*r+1] != agree[1] {
+			return fmt.Errorf("gio: writing %s: ranks declare different column schemas", path)
+		}
+	}
+	meta = mpi.Bcast(c, 0, meta)
+
+	// Collective index: gather everyone's row counts, then compute the
+	// identical layout on all ranks.
+	if cap(w.rows) < nv {
+		w.rows = make([]uint64, nv)
+	}
+	w.rows = w.rows[:nv]
+	for i := range vars {
+		w.rows[i] = uint64(vars[i].rows())
+	}
+	allRows := mpi.AllGather(c, w.rows)
+	dataStart := uint64(indexSize(nv, p, len(meta)))
+	off := dataStart
+	myOff := off
+	for r := 0; r < p; r++ {
+		if r == me {
+			myOff = off
+		}
+		for v := 0; v < nv; v++ {
+			off += blockSize(allRows[r*nv+v], vars[v].Type.Size())
+		}
+	}
+	fileSize := off
+
+	// Rank 0 lays down the index (and reserves the full extent); everyone
+	// waits for the file to exist before opening it.
+	tmp := path + ".tmp"
+	var ierr error
+	if me == 0 {
+		if ierr = w.writeIndex(tmp, meta, vars, allRows, int64(fileSize)); ierr != nil {
+			os.Remove(tmp)
+		}
+	}
+	if !mpi.AllOK(c, ierr == nil) {
+		if ierr != nil {
+			return fmt.Errorf("gio: writing %s: %w", path, ierr)
+		}
+		return fmt.Errorf("gio: writing %s: index write failed on rank 0", path)
+	}
+
+	// Every rank streams its blocks into its disjoint region.
+	derr := w.writeBlocksAt(tmp, vars, int64(myOff))
+	if !mpi.AllOK(c, derr == nil) {
+		if me == 0 {
+			os.Remove(tmp)
+		}
+		if derr != nil {
+			return fmt.Errorf("gio: writing %s: %w", path, derr)
+		}
+		return fmt.Errorf("gio: writing %s: block write failed on another rank", path)
+	}
+
+	// All blocks are synced under tmp: publish atomically, and sync the
+	// directory so the rename itself survives a crash.
+	var rerr error
+	if me == 0 {
+		if rerr = os.Rename(tmp, path); rerr != nil {
+			os.Remove(tmp)
+		} else {
+			rerr = syncDir(filepath.Dir(path))
+		}
+	}
+	if !mpi.AllOK(c, rerr == nil) {
+		if rerr != nil {
+			return fmt.Errorf("gio: writing %s: %w", path, rerr)
+		}
+		return fmt.Errorf("gio: writing %s: rename failed on rank 0", path)
+	}
+	return nil
+}
+
+// writeIndex creates the temporary container, writes the assembled index,
+// and extends the file to its final size.
+func (w *Writer) writeIndex(tmp string, meta []byte, vars []Var, allRows []uint64, fileSize int64) error {
+	w.index = appendIndex(w.index[:0], meta, vars, allRows, w.c.Size())
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(w.index); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Truncate(fileSize); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeBlocksAt opens the container and streams this rank's column blocks
+// (payload + CRC footer each) starting at off.
+func (w *Writer) writeBlocksAt(tmp string, vars []Var, off int64) error {
+	f, err := os.OpenFile(tmp, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if w.buf == nil {
+		w.buf = make([]byte, chunkBytes)
+	}
+	for i := range vars {
+		v := &vars[i]
+		err := streamBlock(v, w.buf, func(b []byte) error {
+			if _, err := f.WriteAt(b, off); err != nil {
+				return fmt.Errorf("writing column %q: %w", v.Name, err)
+			}
+			off += int64(len(b))
+			return nil
+		})
+		if err != nil {
+			f.Close()
+			return err
+		}
+	}
+	// Data pages must be on disk before the collective agrees to publish
+	// the container under its final (restorable) name — rename is metadata
+	// and can otherwise reach disk first across a crash.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

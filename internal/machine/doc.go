@@ -4,5 +4,8 @@
 // from paper §III. Timers split communication into posted (commpost) and
 // exposed-wait (commwait) phases so the overlapped stepping of PR 3 is
 // visible in the phase tables; PR 4 adds the "analysis" phase for the
-// in-situ pipeline.
+// in-situ pipeline and PR 5 the "checkpoint" phase. Counters
+// Encode/Decode/MergeRestored define the per-rank counter block a
+// checkpoint stores, with merge semantics that keep global-transform
+// counts honest when a checkpoint is restored at a different rank count.
 package machine

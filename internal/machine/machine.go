@@ -65,6 +65,45 @@ func (c *Counters) Add(o Counters) {
 	c.CICOps += o.CICOps
 }
 
+// CounterWords is the number of int64 words Encode packs — the per-rank
+// counter block a checkpoint stores for each rank.
+const CounterWords = 4
+
+// Encode packs the counters into the first CounterWords entries of w, for
+// checkpointing. Decode inverts it; MergeRestored folds blocks adopted from
+// other ranks when a checkpoint is restored at a different rank count.
+func (c *Counters) Encode(w []int64) {
+	w[0] = c.KernelInteractions
+	w[1] = c.FFT3D
+	w[2] = int64(c.FFTGridN)
+	w[3] = c.CICOps
+}
+
+// Decode replaces the counters with an encoded block.
+func (c *Counters) Decode(w []int64) {
+	c.KernelInteractions = w[0]
+	c.FFT3D = w[1]
+	c.FFTGridN = int(w[2])
+	c.CICOps = w[3]
+}
+
+// MergeRestored folds a counter block adopted from another rank's
+// checkpoint data into c. KernelInteractions and CICOps are per-rank
+// partial sums of global totals, so they add; FFT3D counts global
+// transforms that every rank participated in (each rank's value is the
+// same), so it is kept rather than summed — summing would inflate it by
+// the number of adopted blocks; FFTGridN is a parameter, not a count.
+func (c *Counters) MergeRestored(w []int64) {
+	c.KernelInteractions += w[0]
+	if c.FFT3D == 0 {
+		c.FFT3D = w[1]
+	}
+	if c.FFTGridN == 0 {
+		c.FFTGridN = int(w[2])
+	}
+	c.CICOps += w[3]
+}
+
 // ProjectedBGQ returns the sustained TFlops and %-of-peak that `nodes` BG/Q
 // nodes deliver under the paper's measured efficiency. This is the model
 // behind the paper-shaped "PFlops" column of the Table II/III benches; the

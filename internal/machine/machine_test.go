@@ -66,3 +66,29 @@ func TestTimers(t *testing.T) {
 		t.Errorf("total %v", tm.Total())
 	}
 }
+
+// TestCounterCheckpointWords pins the checkpoint counter-block contract:
+// Encode/Decode round-trip exactly, and MergeRestored folds adopted blocks
+// with per-rank sums adding while the global transform count and grid
+// parameter are kept, not summed.
+func TestCounterCheckpointWords(t *testing.T) {
+	orig := Counters{KernelInteractions: 123456, FFT3D: 48, FFTGridN: 256, CICOps: 7890}
+	w := make([]int64, CounterWords)
+	orig.Encode(w)
+	var back Counters
+	back.Decode(w)
+	if back != orig {
+		t.Fatalf("Decode(Encode(c)) = %+v, want %+v", back, orig)
+	}
+	// A reader rank adopting two writer blocks: additive fields sum, FFT3D
+	// and FFTGridN (identical on every writer rank) are kept once.
+	w2 := make([]int64, CounterWords)
+	(&Counters{KernelInteractions: 1000, FFT3D: 48, FFTGridN: 256, CICOps: 10}).Encode(w2)
+	var merged Counters
+	merged.MergeRestored(w)
+	merged.MergeRestored(w2)
+	want := Counters{KernelInteractions: 124456, FFT3D: 48, FFTGridN: 256, CICOps: 7900}
+	if merged != want {
+		t.Fatalf("merged = %+v, want %+v", merged, want)
+	}
+}

@@ -236,6 +236,21 @@ func AllToAll[T any](c *Comm, sendParts [][]T) [][]T {
 	return recv
 }
 
+// AllOK reports whether every rank of the communicator passed ok=true.
+// Collective. It is the agreement primitive behind collective I/O: one
+// rank's local failure (a full disk, a permission error) becomes one
+// consistent collective outcome on every rank, and a true result doubles
+// as a completion barrier — when AllOK returns, every rank has entered it,
+// so file-visibility-ordering steps (create before open, write before
+// rename) can safely follow.
+func AllOK(c *Comm, ok bool) bool {
+	v := 1
+	if !ok {
+		v = 0
+	}
+	return AllReduce(c, []int{v}, MinInt)[0] == 1
+}
+
 // Common reduction operators.
 
 // SumF64 adds float64s.

@@ -11,6 +11,11 @@
 // completion, FIFO per (source, tag), which is what buys real
 // computation/communication overlap when ranks are goroutines.
 //
+// PR 5 added AllOK, the agreement primitive behind collective I/O: one
+// rank's local failure becomes one consistent collective outcome, and a
+// true result doubles as a completion barrier for file-visibility
+// ordering (create before open, write before rename).
+//
 // HACC uses MPI for its long/medium-range force framework; this package is
 // the substitute substrate that lets the rest of the code run unmodified at
 // "scale" on a single machine.

@@ -1,139 +1,157 @@
 package snapshot
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
 
 	"hacc/internal/analysis"
+	"hacc/internal/gio"
 )
 
-// Section magics for the in-situ analysis products. Both formats reuse the
-// snapshot Header (NP holds the record count) so catalog files are
-// self-describing about the run that produced them.
-const (
-	HaloMagic     = 0x48414C4F // "HALO"
-	SpectrumMagic = 0x50535043 // "PSPC"
-)
-
-// haloWire is the fixed-size on-disk halo record (Members stay in memory —
-// catalogs are the paper's survey product, not particle dumps).
-type haloWire struct {
-	GID        uint64
-	N          int64
-	Mass       float64
-	X, Y, Z    float64
-	VX, VY, VZ float64
-	RMax       float64
-}
+// Halo catalogs and power spectra share the container layout with particle
+// snapshots; the meta blob's product kind keeps them distinct. Catalogs are
+// the paper's survey product, not particle dumps — halo Members stay in
+// memory.
 
 // WriteHalos stores one rank's halo catalog to w.
 func WriteHalos(w io.Writer, h Header, halos []analysis.Halo) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	h.NP = uint64(len(halos))
-	for _, v := range []any{uint32(HaloMagic), uint32(Version), h} {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return fmt.Errorf("snapshot: write halo header: %w", err)
-		}
+	n := len(halos)
+	cols := struct {
+		gid  []uint64
+		nmem []int64
+		f    [8][]float64 // mass, x, y, z, vx, vy, vz, rmax
+	}{gid: make([]uint64, n), nmem: make([]int64, n)}
+	for i := range cols.f {
+		cols.f[i] = make([]float64, n)
 	}
 	for i := range halos {
-		rec := haloWire{
-			GID: halos[i].GID, N: int64(halos[i].N), Mass: halos[i].Mass,
-			X: halos[i].X, Y: halos[i].Y, Z: halos[i].Z,
-			VX: halos[i].VX, VY: halos[i].VY, VZ: halos[i].VZ,
-			RMax: halos[i].RMax,
-		}
-		if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
-			return fmt.Errorf("snapshot: write halo record: %w", err)
-		}
+		cols.gid[i] = halos[i].GID
+		cols.nmem[i] = int64(halos[i].N)
+		cols.f[0][i] = halos[i].Mass
+		cols.f[1][i] = halos[i].X
+		cols.f[2][i] = halos[i].Y
+		cols.f[3][i] = halos[i].Z
+		cols.f[4][i] = halos[i].VX
+		cols.f[5][i] = halos[i].VY
+		cols.f[6][i] = halos[i].VZ
+		cols.f[7][i] = halos[i].RMax
 	}
-	return bw.Flush()
+	vars := []gio.Var{
+		{Name: "gid", Type: gio.Uint64, U64: cols.gid},
+		{Name: "n", Type: gio.Int64, I64: cols.nmem},
+		{Name: "mass", Type: gio.Float64, F64: cols.f[0]},
+		{Name: "x", Type: gio.Float64, F64: cols.f[1]},
+		{Name: "y", Type: gio.Float64, F64: cols.f[2]},
+		{Name: "z", Type: gio.Float64, F64: cols.f[3]},
+		{Name: "vx", Type: gio.Float64, F64: cols.f[4]},
+		{Name: "vy", Type: gio.Float64, F64: cols.f[5]},
+		{Name: "vz", Type: gio.Float64, F64: cols.f[6]},
+		{Name: "rmax", Type: gio.Float64, F64: cols.f[7]},
+	}
+	return gio.WriteTo(w, encodeMeta(nil, kindHalos, h, 0), vars)
 }
 
 // ReadHalos loads a halo catalog from r.
 func ReadHalos(r io.Reader) (Header, []analysis.Halo, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	h, err := readSectionHeader(br, HaloMagic, "halo catalog")
+	gr, err := openStream(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	return readHalos(gr)
+}
+
+// readHalos decodes a halo catalog from an open container.
+func readHalos(gr *gio.Reader) (Header, []analysis.Halo, error) {
+	h, _, err := decodeMeta(gr.Meta(), kindHalos, "halo catalog")
 	if err != nil {
 		return h, nil, err
 	}
-	halos := make([]analysis.Halo, h.NP)
-	for i := range halos {
-		var rec haloWire
-		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
-			return h, nil, fmt.Errorf("snapshot: read halo record: %w", err)
+	var (
+		gid  []uint64
+		nmem []int64
+		f    [8][]float64
+	)
+	names := [8]string{"mass", "x", "y", "z", "vx", "vy", "vz", "rmax"}
+	for rank := 0; rank < gr.NumRanks(); rank++ {
+		if gid, err = gio.ReadColumn(gr, rank, "gid", gid); err != nil {
+			return h, nil, fmt.Errorf("snapshot: %w", err)
 		}
-		halos[i] = analysis.Halo{
-			GID: rec.GID, N: int(rec.N), Mass: rec.Mass,
-			X: rec.X, Y: rec.Y, Z: rec.Z,
-			VX: rec.VX, VY: rec.VY, VZ: rec.VZ,
-			RMax: rec.RMax,
+		if nmem, err = gio.ReadColumn(gr, rank, "n", nmem); err != nil {
+			return h, nil, fmt.Errorf("snapshot: %w", err)
+		}
+		for i, name := range names {
+			if f[i], err = gio.ReadColumn(gr, rank, name, f[i]); err != nil {
+				return h, nil, fmt.Errorf("snapshot: %w", err)
+			}
+		}
+		// Per-rank consistency: ragged per-rank columns with agreeing
+		// totals must not pair records across writer ranks.
+		if len(nmem) != len(gid) {
+			return h, nil, fmt.Errorf("snapshot: rank %d halo columns have inconsistent lengths", rank)
+		}
+		for i := range f {
+			if len(f[i]) != len(gid) {
+				return h, nil, fmt.Errorf("snapshot: rank %d halo columns have inconsistent lengths", rank)
+			}
 		}
 	}
+	halos := make([]analysis.Halo, len(gid))
+	for i := range halos {
+		halos[i] = analysis.Halo{
+			GID: gid[i], N: int(nmem[i]), Mass: f[0][i],
+			X: f[1][i], Y: f[2][i], Z: f[3][i],
+			VX: f[4][i], VY: f[5][i], VZ: f[6][i],
+			RMax: f[7][i],
+		}
+	}
+	h.NP = uint64(len(halos))
 	return h, halos, nil
 }
 
-// WriteSpectrum stores a binned power spectrum to w.
+// WriteSpectrum stores a binned power spectrum to w; the shot-noise level
+// rides in the meta blob.
 func WriteSpectrum(w io.Writer, h Header, ps *analysis.PowerSpectrum) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	h.NP = uint64(len(ps.K))
-	for _, v := range []any{uint32(SpectrumMagic), uint32(Version), h} {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return fmt.Errorf("snapshot: write spectrum header: %w", err)
-		}
+	vars := []gio.Var{
+		{Name: "k", Type: gio.Float64, F64: ps.K},
+		{Name: "p", Type: gio.Float64, F64: ps.P},
+		{Name: "nmodes", Type: gio.Int64, I64: ps.NModes},
 	}
-	for _, v := range []any{ps.ShotNoise, ps.K, ps.P, ps.NModes} {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return fmt.Errorf("snapshot: write spectrum: %w", err)
-		}
-	}
-	return bw.Flush()
+	return gio.WriteTo(w, encodeMeta(nil, kindSpectrum, h, ps.ShotNoise), vars)
 }
 
 // ReadSpectrum loads a binned power spectrum from r.
 func ReadSpectrum(r io.Reader) (Header, *analysis.PowerSpectrum, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	h, err := readSectionHeader(br, SpectrumMagic, "spectrum")
+	gr, err := openStream(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	return readSpectrum(gr)
+}
+
+// readSpectrum decodes a spectrum from an open container.
+func readSpectrum(gr *gio.Reader) (Header, *analysis.PowerSpectrum, error) {
+	h, shot, err := decodeMeta(gr.Meta(), kindSpectrum, "spectrum")
 	if err != nil {
 		return h, nil, err
 	}
-	n := int(h.NP)
-	ps := &analysis.PowerSpectrum{
-		K: make([]float64, n), P: make([]float64, n), NModes: make([]int64, n),
-	}
-	if err := binary.Read(br, binary.LittleEndian, &ps.ShotNoise); err != nil {
-		return h, nil, fmt.Errorf("snapshot: read spectrum: %w", err)
-	}
-	for _, v := range []any{ps.K, ps.P, ps.NModes} {
-		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
-			return h, nil, fmt.Errorf("snapshot: read spectrum: %w", err)
+	ps := &analysis.PowerSpectrum{ShotNoise: shot}
+	for rank := 0; rank < gr.NumRanks(); rank++ {
+		if ps.K, err = gio.ReadColumn(gr, rank, "k", ps.K); err != nil {
+			return h, nil, fmt.Errorf("snapshot: %w", err)
+		}
+		if ps.P, err = gio.ReadColumn(gr, rank, "p", ps.P); err != nil {
+			return h, nil, fmt.Errorf("snapshot: %w", err)
+		}
+		if ps.NModes, err = gio.ReadColumn(gr, rank, "nmodes", ps.NModes); err != nil {
+			return h, nil, fmt.Errorf("snapshot: %w", err)
+		}
+		if len(ps.P) != len(ps.K) || len(ps.NModes) != len(ps.K) {
+			return h, nil, fmt.Errorf("snapshot: rank %d spectrum columns have inconsistent lengths", rank)
 		}
 	}
+	h.NP = uint64(len(ps.K))
 	return h, ps, nil
-}
-
-// readSectionHeader checks a section magic + version and reads the header.
-func readSectionHeader(br io.Reader, magic uint32, what string) (Header, error) {
-	var m, version uint32
-	var h Header
-	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
-		return h, fmt.Errorf("snapshot: read %s magic: %w", what, err)
-	}
-	if m != magic {
-		return h, fmt.Errorf("snapshot: bad %s magic %#x", what, m)
-	}
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return h, err
-	}
-	if version != Version {
-		return h, fmt.Errorf("snapshot: unsupported %s version %d", what, version)
-	}
-	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
-		return h, fmt.Errorf("snapshot: read %s header: %w", what, err)
-	}
-	return h, nil
 }
 
 // SaveHalos writes one rank's halo catalog to path.
@@ -149,14 +167,15 @@ func SaveHalos(path string, h Header, halos []analysis.Halo) error {
 	return f.Close()
 }
 
-// LoadHalos reads a halo catalog from path.
+// LoadHalos reads a halo catalog from path with O(1) index access (no
+// whole-file slurp, like LoadFile).
 func LoadHalos(path string) (Header, []analysis.Halo, error) {
-	f, err := os.Open(path)
+	gr, err := openContainer(path)
 	if err != nil {
 		return Header{}, nil, err
 	}
-	defer f.Close()
-	return ReadHalos(f)
+	defer gr.Close()
+	return readHalos(gr)
 }
 
 // SaveSpectrum writes a power spectrum to path.
@@ -172,12 +191,12 @@ func SaveSpectrum(path string, h Header, ps *analysis.PowerSpectrum) error {
 	return f.Close()
 }
 
-// LoadSpectrum reads a power spectrum from path.
+// LoadSpectrum reads a power spectrum from path with O(1) index access.
 func LoadSpectrum(path string) (Header, *analysis.PowerSpectrum, error) {
-	f, err := os.Open(path)
+	gr, err := openContainer(path)
 	if err != nil {
 		return Header{}, nil, err
 	}
-	defer f.Close()
-	return ReadSpectrum(f)
+	defer gr.Close()
+	return readSpectrum(gr)
 }

@@ -1,96 +1,239 @@
+// Package snapshot stores simulation products — particle snapshots, halo
+// catalogs, and power spectra — as gio containers: one durable, versioned,
+// CRC-protected layout shared with the checkpoint subsystem. See doc.go.
 package snapshot
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"hacc/internal/domain"
+	"hacc/internal/gio"
 )
 
-// Magic identifies snapshot files.
-const Magic = 0x48414343 // "HACC"
+// Version of the snapshot schema carried inside the container meta blob.
+// Version 1 was the pre-container raw-block format; version 2 moved every
+// product onto the gio container (PR 5).
+const Version = 2
 
-// Version of the on-disk format.
-const Version = 1
+// Product kinds stored in the meta blob, so a particle snapshot, a halo
+// catalog, and a spectrum cannot be confused even though they share the
+// container layout.
+const (
+	kindParticles = 1
+	kindHalos     = 2
+	kindSpectrum  = 3
+)
 
-// Header describes a snapshot.
+// legacyMagic is the on-disk prefix of pre-container (version 1) snapshot
+// files, recognized only to produce a clear migration error.
+var legacyMagic = []byte{0x43, 0x43, 0x41, 0x48} // uint32 LE 0x48414343 "HACC"
+
+// Header describes a snapshot. It rides in the container's meta blob; NP is
+// filled from the container's row counts on read.
 type Header struct {
 	NGrid  uint32
-	NP     uint64 // particle count in this file
+	NP     uint64 // record count in this file
 	BoxMpc float64
 	A      float64 // scale factor at the time of writing
 	OmegaM float64
 	Seed   uint64
 }
 
-// Write stores the particles to w.
-func Write(w io.Writer, h Header, p *domain.Particles) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	h.NP = uint64(p.Len())
-	for _, v := range []any{uint32(Magic), uint32(Version), h} {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return fmt.Errorf("snapshot: write header: %w", err)
-		}
-	}
-	for _, arr := range [][]float32{p.X, p.Y, p.Z, p.Vx, p.Vy, p.Vz} {
-		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
-			return fmt.Errorf("snapshot: write array: %w", err)
-		}
-	}
-	if err := binary.Write(bw, binary.LittleEndian, p.ID); err != nil {
-		return fmt.Errorf("snapshot: write ids: %w", err)
-	}
-	return bw.Flush()
+// metaSize is the fixed wire size of the meta blob: kind, schema version,
+// NGrid, pad, then BoxMpc, A, OmegaM, Seed, and one product-specific extra
+// (the spectrum's shot noise).
+const metaSize = 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8
+
+// encodeMeta packs the product kind, schema version, and header into a meta
+// blob (appending onto dst, which may be a reused buffer).
+func encodeMeta(dst []byte, kind uint32, h Header, extra float64) []byte {
+	var b [metaSize]byte
+	binary.LittleEndian.PutUint32(b[0:], kind)
+	binary.LittleEndian.PutUint32(b[4:], Version)
+	binary.LittleEndian.PutUint32(b[8:], h.NGrid)
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(h.BoxMpc))
+	binary.LittleEndian.PutUint64(b[24:], math.Float64bits(h.A))
+	binary.LittleEndian.PutUint64(b[32:], math.Float64bits(h.OmegaM))
+	binary.LittleEndian.PutUint64(b[40:], h.Seed)
+	binary.LittleEndian.PutUint64(b[48:], math.Float64bits(extra))
+	return append(dst, b[:]...)
 }
 
-// Read loads a snapshot from r.
-func Read(r io.Reader) (Header, *domain.Particles, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	h, err := ReadHeader(br)
+// decodeMeta unpacks a meta blob and checks the product kind and schema
+// version.
+func decodeMeta(meta []byte, wantKind uint32, what string) (Header, float64, error) {
+	var h Header
+	if len(meta) < metaSize {
+		return h, 0, fmt.Errorf("snapshot: %s meta blob is %d bytes, want %d", what, len(meta), metaSize)
+	}
+	kind := binary.LittleEndian.Uint32(meta[0:])
+	version := binary.LittleEndian.Uint32(meta[4:])
+	if kind != wantKind {
+		return h, 0, fmt.Errorf("snapshot: container holds product kind %d, want %s (kind %d)", kind, what, wantKind)
+	}
+	if version != Version {
+		return h, 0, fmt.Errorf("snapshot: unsupported %s schema version %d (this build reads version %d)", what, version, Version)
+	}
+	h.NGrid = binary.LittleEndian.Uint32(meta[8:])
+	h.BoxMpc = math.Float64frombits(binary.LittleEndian.Uint64(meta[16:]))
+	h.A = math.Float64frombits(binary.LittleEndian.Uint64(meta[24:]))
+	h.OmegaM = math.Float64frombits(binary.LittleEndian.Uint64(meta[32:]))
+	h.Seed = binary.LittleEndian.Uint64(meta[40:])
+	extra := math.Float64frombits(binary.LittleEndian.Uint64(meta[48:]))
+	return h, extra, nil
+}
+
+// AppendParticleVars appends the canonical particle column declarations —
+// x, y, z, vx, vy, vz (float32) and id (uint64) — over p's storage onto
+// vars and returns the extended slice. No copies are made: the gio writer
+// streams the slices in place. Snapshots and checkpoints share this schema,
+// so any particle container the code emits is readable by the same decode
+// path (ReadParticleRank).
+func AppendParticleVars(vars []gio.Var, p *domain.Particles) []gio.Var {
+	return append(vars,
+		gio.Var{Name: "x", Type: gio.Float32, F32: p.X},
+		gio.Var{Name: "y", Type: gio.Float32, F32: p.Y},
+		gio.Var{Name: "z", Type: gio.Float32, F32: p.Z},
+		gio.Var{Name: "vx", Type: gio.Float32, F32: p.Vx},
+		gio.Var{Name: "vy", Type: gio.Float32, F32: p.Vy},
+		gio.Var{Name: "vz", Type: gio.Float32, F32: p.Vz},
+		gio.Var{Name: "id", Type: gio.Uint64, U64: p.ID},
+	)
+}
+
+// particleVars declares the particle column schema over p's storage.
+func particleVars(p *domain.Particles) []gio.Var {
+	return AppendParticleVars(nil, p)
+}
+
+// Write stores the particles to w as a single-rank container. The header's
+// NP field is ignored: record counts live in the container's rank table and
+// are re-derived (and size-validated) on read.
+func Write(w io.Writer, h Header, p *domain.Particles) error {
+	return gio.WriteTo(w, encodeMeta(nil, kindParticles, h, 0), particleVars(p))
+}
+
+// openStream parses a whole container from a sequential reader. Allocation
+// is bounded by the bytes actually present (io.ReadAll grows with real
+// input), and every header-declared count is validated against the true
+// size before it is trusted — a truncated or corrupt stream fails loudly
+// instead of over-allocating.
+func openStream(r io.Reader) (*gio.Reader, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading container: %w", err)
+	}
+	if bytes.HasPrefix(data, legacyMagic) {
+		return nil, fmt.Errorf("snapshot: legacy version-1 snapshot (pre-container raw blocks); regenerate it with this build")
+	}
+	gr, err := gio.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return gr, nil
+}
+
+// readParticles decodes every writer rank's particle columns from an open
+// container, appending into a fresh Particles store.
+func readParticles(gr *gio.Reader, wantKind uint32) (Header, *domain.Particles, error) {
+	h, _, err := decodeMeta(gr.Meta(), wantKind, "particle snapshot")
 	if err != nil {
 		return h, nil, err
 	}
-	n := int(h.NP)
-	p := &domain.Particles{
-		X: make([]float32, n), Y: make([]float32, n), Z: make([]float32, n),
-		Vx: make([]float32, n), Vy: make([]float32, n), Vz: make([]float32, n),
-		ID: make([]uint64, n),
+	p := &domain.Particles{}
+	if err := ReadParticleRank(gr, -1, p); err != nil {
+		return h, nil, err
 	}
-	for _, arr := range [][]float32{p.X, p.Y, p.Z, p.Vx, p.Vy, p.Vz} {
-		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
-			return h, nil, fmt.Errorf("snapshot: read array: %w", err)
-		}
-	}
-	if err := binary.Read(br, binary.LittleEndian, &p.ID); err != nil {
-		return h, nil, fmt.Errorf("snapshot: read ids: %w", err)
-	}
+	h.NP = uint64(p.Len())
 	return h, p, nil
 }
 
-// ReadHeader reads only the magic, version, and header of a particle
+// ReadParticleRank appends the particle columns of one writer rank (or of
+// every rank, when rank is negative) onto dst. It is the shared decode path
+// for snapshot loading, the distributed analysis tools, and the
+// checkpoint restore's rank-count-changing reassignment.
+func ReadParticleRank(gr *gio.Reader, rank int, dst *domain.Particles) error {
+	lo, hi := rank, rank+1
+	if rank < 0 {
+		lo, hi = 0, gr.NumRanks()
+	}
+	for r := lo; r < hi; r++ {
+		var err error
+		if dst.X, err = gio.ReadColumn(gr, r, "x", dst.X); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if dst.Y, err = gio.ReadColumn(gr, r, "y", dst.Y); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if dst.Z, err = gio.ReadColumn(gr, r, "z", dst.Z); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if dst.Vx, err = gio.ReadColumn(gr, r, "vx", dst.Vx); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if dst.Vy, err = gio.ReadColumn(gr, r, "vy", dst.Vy); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if dst.Vz, err = gio.ReadColumn(gr, r, "vz", dst.Vz); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if dst.ID, err = gio.ReadColumn(gr, r, "id", dst.ID); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		// Check per rank, not just in total: ragged per-rank columns whose
+		// totals happen to agree would otherwise pair coordinates across
+		// writer ranks silently.
+		if n := len(dst.X); len(dst.Y) != n || len(dst.Z) != n || len(dst.Vx) != n ||
+			len(dst.Vy) != n || len(dst.Vz) != n || len(dst.ID) != n {
+			return fmt.Errorf("snapshot: rank %d particle columns have inconsistent lengths", r)
+		}
+	}
+	return nil
+}
+
+// Read loads a particle snapshot from r.
+func Read(r io.Reader) (Header, *domain.Particles, error) {
+	gr, err := openStream(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	return readParticles(gr, kindParticles)
+}
+
+// ReadHeader reads only the container index and meta blob of a particle
 // snapshot, without decoding the particle payload — for callers that need
-// counts and run metadata up front (haccpower's file scan).
+// counts and run metadata up front (haccpower's file scan). The stream is
+// consumed up to the start of the data region.
 func ReadHeader(r io.Reader) (Header, error) {
-	var magic, version uint32
-	var h Header
-	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
-		return h, fmt.Errorf("snapshot: read magic: %w", err)
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Header{}, fmt.Errorf("snapshot: reading magic: %w", err)
 	}
-	if magic != Magic {
-		return h, fmt.Errorf("snapshot: bad magic %#x", magic)
+	if bytes.Equal(hdr, legacyMagic) {
+		return Header{}, fmt.Errorf("snapshot: legacy version-1 snapshot (pre-container raw blocks); regenerate it with this build")
 	}
-	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+	ix, err := gio.ReadIndexOnly(io.MultiReader(bytes.NewReader(hdr), r))
+	if err != nil {
+		return Header{}, fmt.Errorf("snapshot: %w", err)
+	}
+	h, _, err := decodeMeta(ix.Meta(), kindParticles, "particle snapshot")
+	if err != nil {
 		return h, err
 	}
-	if version != Version {
-		return h, fmt.Errorf("snapshot: unsupported version %d", version)
+	var np uint64
+	for r := 0; r < ix.NumRanks(); r++ {
+		rows, err := ix.Rows(r, "x")
+		if err != nil {
+			return h, fmt.Errorf("snapshot: %w", err)
+		}
+		np += uint64(rows)
 	}
-	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
-		return h, fmt.Errorf("snapshot: read header: %w", err)
-	}
+	h.NP = np
 	return h, nil
 }
 
@@ -117,12 +260,31 @@ func SaveFile(path string, h Header, p *domain.Particles) error {
 	return f.Close()
 }
 
-// LoadFile reads a snapshot from path.
+// LoadFile reads a snapshot from path with O(1) index access (the file is
+// not slurped into memory first, unlike the io.Reader path).
 func LoadFile(path string) (Header, *domain.Particles, error) {
-	f, err := os.Open(path)
+	gr, err := openContainer(path)
 	if err != nil {
 		return Header{}, nil, err
 	}
-	defer f.Close()
-	return Read(f)
+	defer gr.Close()
+	return readParticles(gr, kindParticles)
+}
+
+// openContainer opens a container file, translating a legacy-format prefix
+// into the migration error.
+func openContainer(path string) (*gio.Reader, error) {
+	gr, err := gio.Open(path)
+	if err == nil {
+		return gr, nil
+	}
+	if f, ferr := os.Open(path); ferr == nil {
+		var pre [4]byte
+		if _, rerr := io.ReadFull(f, pre[:]); rerr == nil && bytes.Equal(pre[:], legacyMagic) {
+			f.Close()
+			return nil, fmt.Errorf("snapshot: %s is a legacy version-1 snapshot (pre-container raw blocks); regenerate it with this build", path)
+		}
+		f.Close()
+	}
+	return nil, fmt.Errorf("snapshot: %w", err)
 }

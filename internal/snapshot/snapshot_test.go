@@ -3,7 +3,9 @@ package snapshot
 import (
 	"bytes"
 	"math/rand"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hacc/internal/domain"
@@ -66,5 +68,72 @@ func TestBadMagic(t *testing.T) {
 	var empty bytes.Buffer
 	if _, _, err := Read(&empty); err == nil {
 		t.Error("accepted empty input")
+	}
+}
+
+// TestTruncatedSnapshot pins the bounded-read contract: a snapshot cut
+// short anywhere — inside the index or inside the particle payload — fails
+// with a descriptive error instead of trusting the header's counts (the
+// pre-container format over-allocated NP-sized buffers from an untrusted
+// header before discovering the truncation).
+func TestTruncatedSnapshot(t *testing.T) {
+	p := makeParticles(500, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{NGrid: 32, BoxMpc: 100, A: 1}, p); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for _, n := range []int{0, 10, 40, 100, len(whole) / 2, len(whole) - 1} {
+		if _, _, err := Read(bytes.NewReader(whole[:n])); err == nil {
+			t.Errorf("accepted snapshot truncated to %d of %d bytes", n, len(whole))
+		}
+	}
+	// Flipped payload byte: the column CRC catches it.
+	bad := append([]byte(nil), whole...)
+	bad[len(bad)-20] ^= 0x01
+	if _, _, err := Read(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Errorf("corrupt payload error = %v, want a CRC mismatch", err)
+	}
+}
+
+// TestLegacyFormatRejected pins the migration error for pre-container
+// (version 1) snapshot files, which started with the raw "HACC" magic.
+func TestLegacyFormatRejected(t *testing.T) {
+	legacy := []byte{0x43, 0x43, 0x41, 0x48, 1, 0, 0, 0, 9, 9, 9, 9}
+	if _, _, err := Read(bytes.NewReader(legacy)); err == nil || !strings.Contains(err.Error(), "legacy") {
+		t.Errorf("legacy read error = %v, want a migration message", err)
+	}
+	if _, err := ReadHeader(bytes.NewReader(legacy)); err == nil || !strings.Contains(err.Error(), "legacy") {
+		t.Errorf("legacy header error = %v, want a migration message", err)
+	}
+	path := filepath.Join(t.TempDir(), "old.hacc")
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadFile(path); err == nil || !strings.Contains(err.Error(), "legacy") {
+		t.Errorf("legacy load error = %v, want a migration message", err)
+	}
+}
+
+// TestProductKindConfusion pins that the three product readers refuse each
+// other's containers (and checkpoint state containers) by meta kind.
+func TestProductKindConfusion(t *testing.T) {
+	p := makeParticles(10, 4)
+	var snap bytes.Buffer
+	if err := Write(&snap, Header{NGrid: 16, BoxMpc: 50, A: 1}, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadHalos(bytes.NewReader(snap.Bytes())); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Errorf("halo read of a particle snapshot: %v", err)
+	}
+	if _, _, err := ReadSpectrum(bytes.NewReader(snap.Bytes())); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Errorf("spectrum read of a particle snapshot: %v", err)
+	}
+	var cat bytes.Buffer
+	if err := WriteHalos(&cat, Header{NGrid: 16}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(bytes.NewReader(cat.Bytes())); err == nil {
+		t.Error("particle read of a halo catalog accepted")
 	}
 }

@@ -87,6 +87,16 @@ func (s Schedule) Validate() error {
 
 // StepBounds returns the scale-factor interval of full step i.
 func (s Schedule) StepBounds(i int) (float64, float64) {
+	return s.AAt(i), s.AAt(i + 1)
+}
+
+// AAt returns the scale factor at the boundary after i completed full
+// steps: AAt(0) is AInit, AAt(Steps) is AFinal up to rounding. The
+// expression is the same float64 arithmetic as StepBounds, so the scale
+// factor a checkpoint records at step i can be cross-checked bitwise on
+// restore — a mismatch means the checkpoint and the configured schedule
+// disagree about where in the integration the run stopped.
+func (s Schedule) AAt(i int) float64 {
 	da := (s.AFinal - s.AInit) / float64(s.Steps)
-	return s.AInit + float64(i)*da, s.AInit + float64(i+1)*da
+	return s.AInit + float64(i)*da
 }
