@@ -13,6 +13,15 @@
 // flags may be combined with -restart):
 //
 //	haccsim -restart ckpt
+//
+// With -max-restarts the run is supervised: crashes, detected hangs, and
+// corrupt checkpoints tear the world down, quarantine any damaged
+// checkpoint, and resume from the newest restorable one with exponential
+// backoff. -fault arms the deterministic fault injector, which is how the
+// recovery path is exercised on demand:
+//
+//	haccsim -np 32 -steps 8 -ckpt-dir ckpt -ckpt-every 2 \
+//	        -max-restarts 3 -fault "kill rank 2 at step 5"
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 
 	"hacc/internal/core"
 	"hacc/internal/cosmology"
+	"hacc/internal/fault"
 	"hacc/internal/mpi"
 )
 
@@ -40,28 +50,33 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("haccsim: ")
 	var (
-		ranks     = flag.Int("ranks", 4, "simulated MPI ranks")
-		np        = flag.Int("np", 32, "particles per dimension")
-		ng        = flag.Int("ng", 0, "PM grid per dimension (default: np)")
-		box       = flag.Float64("box", 150, "box side in Mpc/h")
-		zInit     = flag.Float64("zinit", 24, "initial redshift")
-		zFinal    = flag.Float64("zfinal", 0, "final redshift")
-		steps     = flag.Int("steps", 12, "full long-range steps")
-		nc        = flag.Int("nc", 5, "short-range sub-cycles per step")
-		seed      = flag.Uint64("seed", 42, "random seed")
-		solver    = flag.String("solver", "tree", "short-range solver: tree|p3m|pm")
-		transfer  = flag.String("transfer", "eh-nowiggle", "transfer function: eh|eh-nowiggle|bbks")
-		threads   = flag.Int("threads", 2, "kernel threads per rank")
-		fixed     = flag.Bool("fixed", false, "fixed-amplitude initial conditions")
-		snapPath  = flag.String("snap", "", "write a final snapshot to this path")
-		pkBins    = flag.Int("pkbins", 16, "power spectrum bins")
-		ckptDir   = flag.String("ckpt-dir", "", "write cadenced checkpoints under this directory")
-		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint after every Nth full step (requires -ckpt-dir)")
-		restart   = flag.String("restart", "", "resume from a checkpoint (a step directory or a -ckpt-dir root)")
+		ranks       = flag.Int("ranks", 4, "simulated MPI ranks")
+		np          = flag.Int("np", 32, "particles per dimension")
+		ng          = flag.Int("ng", 0, "PM grid per dimension (default: np)")
+		box         = flag.Float64("box", 150, "box side in Mpc/h")
+		zInit       = flag.Float64("zinit", 24, "initial redshift")
+		zFinal      = flag.Float64("zfinal", 0, "final redshift")
+		steps       = flag.Int("steps", 12, "full long-range steps")
+		nc          = flag.Int("nc", 5, "short-range sub-cycles per step")
+		seed        = flag.Uint64("seed", 42, "random seed")
+		solver      = flag.String("solver", "tree", "short-range solver: tree|p3m|pm")
+		transfer    = flag.String("transfer", "eh-nowiggle", "transfer function: eh|eh-nowiggle|bbks")
+		threads     = flag.Int("threads", 2, "kernel threads per rank")
+		fixed       = flag.Bool("fixed", false, "fixed-amplitude initial conditions")
+		snapPath    = flag.String("snap", "", "write a final snapshot to this path")
+		pkBins      = flag.Int("pkbins", 16, "power spectrum bins")
+		ckptDir     = flag.String("ckpt-dir", "", "write cadenced checkpoints under this directory")
+		ckptEvery   = flag.Int("ckpt-every", 0, "checkpoint after every Nth full step (requires -ckpt-dir)")
+		restart     = flag.String("restart", "", "resume from a checkpoint (a step directory or a -ckpt-dir root)")
+		maxRestarts = flag.Int("max-restarts", -1, "supervise the run, restarting from the newest checkpoint up to N times (-1 = unsupervised)")
+		opTimeout   = flag.Duration("op-timeout", 0, "hang detection: per-operation timeout under -max-restarts (0 = off)")
+		deadline    = flag.Duration("deadline", 0, "wall-clock bound per supervised attempt (0 = none)")
+		faultSpec   = flag.String("fault", "", `arm the fault injector, e.g. "kill rank 2 at step 3; fail every 5th fsync"`)
 	)
 	flag.Parse()
 	if err := validateFlags(*ranks, *np, *ng, *box, *zInit, *zFinal, *steps, *nc,
-		*threads, *pkBins, *solver, *transfer, *ckptDir, *ckptEvery, *restart); err != nil {
+		*threads, *pkBins, *solver, *transfer, *ckptDir, *ckptEvery, *restart,
+		*maxRestarts, *opTimeout, *deadline, *faultSpec); err != nil {
 		log.Fatal(err)
 	}
 
@@ -101,6 +116,10 @@ func main() {
 		if !explicit["ranks"] {
 			*ranks = info.NRanks
 		}
+		if explicit["ckpt-dir"] || explicit["ckpt-every"] {
+			cfg.CheckpointDir = *ckptDir
+			cfg.CheckpointEvery = *ckptEvery
+		}
 		log.Printf("resuming from %s: step %d/%d, a=%.4f, %d particles (written at %d ranks)",
 			dir, info.StepIndex, cfg.Steps, info.A, info.NGlobal, info.NRanks)
 	} else {
@@ -112,76 +131,67 @@ func main() {
 			CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
 		}
 	}
+	mutate := func(c *core.Config) {
+		// Only explicitly-set neutral knobs override the checkpoint.
+		if explicit["threads"] {
+			c.Threads = *threads
+		}
+		if explicit["ckpt-dir"] || explicit["ckpt-every"] {
+			c.CheckpointDir = *ckptDir
+			c.CheckpointEvery = *ckptEvery
+		}
+	}
+
+	if *faultSpec != "" {
+		fault.Arm(fault.MustParse(*faultSpec))
+		defer fault.Disarm()
+		log.Printf("fault injector armed: %s", *faultSpec)
+	}
 
 	start := time.Now()
+	if *maxRestarts >= 0 {
+		// Supervised: the supervisor owns world construction and recovery.
+		opts := core.SupervisorOptions{
+			Ranks:       *ranks,
+			MaxRestarts: *maxRestarts,
+			OpTimeout:   *opTimeout,
+			Deadline:    *deadline,
+			ResumeFrom:  stepDir,
+			Mutate:      mutate,
+			Log:         func(line string) { log.Print(line) },
+		}
+		if *maxRestarts == 0 {
+			opts.MaxRestarts = -1 // supervised teardown/diagnosis, no retry
+		}
+		rep, err := core.RunSupervised(cfg, opts, func(s *core.Simulation) error {
+			return drive(s, *ranks, *pkBins, *snapPath, start)
+		})
+		for _, inc := range rep.Incidents {
+			log.Printf("incident: attempt %d failed (%s); resumed from %q after %v",
+				inc.Attempt, inc.Class, inc.Resume, inc.Backoff)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.Restarts > 0 {
+			log.Printf("run completed after %d restart(s)", rep.Restarts)
+		}
+		return
+	}
+
 	err := mpi.Run(*ranks, func(c *mpi.Comm) {
 		var s *core.Simulation
 		var err error
 		if stepDir != "" {
-			s, err = core.Restore(c, stepDir, func(cfg *core.Config) {
-				// Only explicitly-set neutral knobs override the checkpoint.
-				if explicit["threads"] {
-					cfg.Threads = *threads
-				}
-				if explicit["ckpt-dir"] || explicit["ckpt-every"] {
-					cfg.CheckpointDir = *ckptDir
-					cfg.CheckpointEvery = *ckptEvery
-				}
-			})
+			s, err = core.Restore(c, stepDir, mutate)
 		} else {
 			s, err = core.New(c, cfg)
 		}
 		if err != nil {
 			panic(err)
 		}
-		nsteps := s.Cfg.Steps
-		if c.Rank() == 0 {
-			log.Printf("%s: %d^3 particles, %d^3 grid, %.0f Mpc/h box, %d ranks, z=%.1f→%.1f in %d steps ×%d sub-cycles",
-				s.Cfg.Solver, s.Cfg.NParticles, s.Cfg.NGrid, s.Cfg.BoxMpc, *ranks,
-				s.Cfg.ZInit, s.Cfg.ZFinal, nsteps, s.Cfg.SubCycles)
-			log.Printf("particle mass %.3e Msun/h", s.ParticleMassMsun)
-		}
-		err = s.Run(func(step int, a float64) {
-			if c.Rank() == 0 {
-				log.Printf("step %3d/%d  a=%.4f  z=%6.2f", step, nsteps, a, 1/a-1)
-			}
-		})
-		if err != nil {
+		if err := drive(s, *ranks, *pkBins, *snapPath, start); err != nil {
 			panic(err)
-		}
-
-		ps := s.PowerSpectrum(*pkBins, true)
-		halos := s.FindHalos(0.2, 10)
-		nh := mpi.AllReduce(c, []int{len(halos)}, mpi.SumInt)
-		stats := s.DensityStats()
-		gc := s.GlobalCounters()
-		if c.Rank() == 0 {
-			fmt.Printf("\nfinal power spectrum (z=%.2f):\n%-10s %-12s %-12s %s\n",
-				s.Z(), "k [h/Mpc]", "P(k)", "P_lin(k)", "modes")
-			d := s.LP.Gfac.D(s.A)
-			for i, k := range ps.K {
-				fmt.Printf("%-10.4f %-12.4e %-12.4e %d\n", k, ps.P[i], d*d*s.LP.P(k), ps.NModes[i])
-			}
-			fmt.Printf("\nhalos (FOF b=0.2, ≥10 particles): %d\n", nh[0])
-			fmt.Printf("density contrast: max=%.1f var=%.3f\n", stats.Max, stats.Variance)
-			fmt.Printf("\nperformance: %.2e kernel interactions, %.2e model flops, wall %.1fs\n",
-				float64(gc.KernelInteractions), gc.Flops(), time.Since(start).Seconds())
-			for _, p := range s.Timers.Fractions() {
-				fmt.Printf("  %-10s %5.1f%%\n", p.Name, 100*p.Fraction)
-			}
-		}
-		if *snapPath != "" {
-			// Each rank appends its suffix; rank 0 writes the base path.
-			path := *snapPath
-			if c.Rank() != 0 {
-				path = fmt.Sprintf("%s.%d", *snapPath, c.Rank())
-			}
-			if err := s.SaveSnapshot(path); err != nil {
-				panic(err)
-			}
-			if c.Rank() == 0 {
-				log.Printf("snapshot written to %s (+ per-rank suffixes)", path)
-			}
 		}
 	})
 	if err != nil {
@@ -189,10 +199,73 @@ func main() {
 	}
 }
 
+// drive runs the remaining schedule on one rank's Simulation and reports
+// the final science and performance summary. It is the body shared by the
+// plain and supervised paths, so a restarted attempt replays exactly the
+// same code.
+func drive(s *core.Simulation, ranks, pkBins int, snapPath string, start time.Time) error {
+	c := s.Comm
+	nsteps := s.Cfg.Steps
+	if c.Rank() == 0 {
+		log.Printf("%s: %d^3 particles, %d^3 grid, %.0f Mpc/h box, %d ranks, z=%.1f→%.1f in %d steps ×%d sub-cycles",
+			s.Cfg.Solver, s.Cfg.NParticles, s.Cfg.NGrid, s.Cfg.BoxMpc, ranks,
+			s.Cfg.ZInit, s.Cfg.ZFinal, nsteps, s.Cfg.SubCycles)
+		log.Printf("particle mass %.3e Msun/h", s.ParticleMassMsun)
+	}
+	err := s.Run(func(step int, a float64) {
+		if c.Rank() == 0 {
+			log.Printf("step %3d/%d  a=%.4f  z=%6.2f", step, nsteps, a, 1/a-1)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	ps := s.PowerSpectrum(pkBins, true)
+	halos := s.FindHalos(0.2, 10)
+	nh := mpi.AllReduce(c, []int{len(halos)}, mpi.SumInt)
+	stats := s.DensityStats()
+	gc := s.GlobalCounters()
+	if c.Rank() == 0 {
+		fmt.Printf("\nfinal power spectrum (z=%.2f):\n%-10s %-12s %-12s %s\n",
+			s.Z(), "k [h/Mpc]", "P(k)", "P_lin(k)", "modes")
+		d := s.LP.Gfac.D(s.A)
+		for i, k := range ps.K {
+			fmt.Printf("%-10.4f %-12.4e %-12.4e %d\n", k, ps.P[i], d*d*s.LP.P(k), ps.NModes[i])
+		}
+		fmt.Printf("\nhalos (FOF b=0.2, ≥10 particles): %d\n", nh[0])
+		fmt.Printf("density contrast: max=%.1f var=%.3f\n", stats.Max, stats.Variance)
+		fmt.Printf("\nperformance: %.2e kernel interactions, %.2e model flops, wall %.1fs\n",
+			float64(gc.KernelInteractions), gc.Flops(), time.Since(start).Seconds())
+		if gc.Restarts > 0 || gc.CkptRetries > 0 || gc.CkptQuarantined > 0 {
+			fmt.Printf("resilience: %d restarts, %d checkpoint retries, %d quarantined\n",
+				gc.Restarts, gc.CkptRetries, gc.CkptQuarantined)
+		}
+		for _, p := range s.Timers.Fractions() {
+			fmt.Printf("  %-10s %5.1f%%\n", p.Name, 100*p.Fraction)
+		}
+	}
+	if snapPath != "" {
+		// Each rank appends its suffix; rank 0 writes the base path.
+		path := snapPath
+		if c.Rank() != 0 {
+			path = fmt.Sprintf("%s.%d", snapPath, c.Rank())
+		}
+		if err := s.SaveSnapshot(path); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			log.Printf("snapshot written to %s (+ per-rank suffixes)", path)
+		}
+	}
+	return nil
+}
+
 // validateFlags rejects nonsensical flag combinations with one-line errors
 // before any world is spun up, instead of panicking ranks mid-run.
 func validateFlags(ranks, np, ng int, box, zInit, zFinal float64, steps, nc,
-	threads, pkBins int, solver, transfer, ckptDir string, ckptEvery int, restart string) error {
+	threads, pkBins int, solver, transfer, ckptDir string, ckptEvery int, restart string,
+	maxRestarts int, opTimeout, deadline time.Duration, faultSpec string) error {
 	switch {
 	case ranks < 1:
 		return fmt.Errorf("-ranks %d must be ≥1", ranks)
@@ -206,6 +279,19 @@ func validateFlags(ranks, np, ng int, box, zInit, zFinal float64, steps, nc,
 		return fmt.Errorf("-ckpt-every %d needs -ckpt-dir", ckptEvery)
 	case ckptEvery == 0 && ckptDir != "":
 		return fmt.Errorf("-ckpt-dir %s needs -ckpt-every ≥1", ckptDir)
+	case maxRestarts < -1:
+		return fmt.Errorf("-max-restarts %d must be ≥-1 (-1 = unsupervised)", maxRestarts)
+	case maxRestarts < 0 && opTimeout != 0:
+		return fmt.Errorf("-op-timeout needs -max-restarts (hang detection is a supervisor feature)")
+	case maxRestarts < 0 && deadline != 0:
+		return fmt.Errorf("-deadline needs -max-restarts")
+	case opTimeout < 0 || deadline < 0:
+		return fmt.Errorf("timeouts must be ≥0")
+	}
+	if faultSpec != "" {
+		if _, err := fault.Parse(faultSpec); err != nil {
+			return fmt.Errorf("-fault: %v", err)
+		}
 	}
 	switch solver {
 	case "tree", "p3m", "pm":

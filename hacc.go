@@ -46,6 +46,7 @@ import (
 	"hacc/internal/analysis"
 	"hacc/internal/core"
 	"hacc/internal/cosmology"
+	"hacc/internal/fault"
 	"hacc/internal/mpi"
 )
 
@@ -98,3 +99,44 @@ func ResolveCheckpoint(path string) (string, error) { return core.ResolveCheckpo
 
 // DefaultCosmology returns the WMAP-7-like parameters of the paper's runs.
 func DefaultCosmology() CosmologyParams { return cosmology.Default() }
+
+// SupervisorOptions configures RunSupervised.
+type SupervisorOptions = core.SupervisorOptions
+
+// SupervisorReport is a supervised run's recovery log.
+type SupervisorReport = core.Report
+
+// Incident is one failed attempt in a supervised run's recovery log.
+type Incident = core.Incident
+
+// FailureClass is the supervisor's diagnosis of a failed attempt.
+type FailureClass = core.FailureClass
+
+// Failure classes a supervised attempt can be diagnosed with.
+const (
+	FailPanic             = core.FailPanic
+	FailHang              = core.FailHang
+	FailAbort             = core.FailAbort
+	FailCorruptCheckpoint = core.FailCorruptCheckpoint
+)
+
+// RunSupervised runs body under the failure supervisor: crashes, hangs, and
+// corrupt checkpoints are classified, damaged checkpoints quarantined, and
+// the run resumed from the newest restorable checkpoint with exponential
+// backoff, up to MaxRestarts. See core.RunSupervised.
+func RunSupervised(cfg Config, opts SupervisorOptions, body func(*Simulation) error) (*SupervisorReport, error) {
+	return core.RunSupervised(cfg, opts, body)
+}
+
+// ArmFaults installs a fault-injection plan parsed from a spec such as
+// "kill rank 2 at step 3; fail every 5th fsync" (see internal/fault for the
+// grammar). It returns a disarm function. Faulting is process-global and
+// costs one atomic load per hook site when no plan is armed.
+func ArmFaults(spec string) (disarm func(), err error) {
+	p, err := fault.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	fault.Arm(p)
+	return fault.Disarm, nil
+}

@@ -7,7 +7,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"sort"
+	"time"
 
 	"hacc/internal/domain"
 	"hacc/internal/gio"
@@ -159,7 +159,7 @@ func (s *Simulation) checkpoint(dir string) error {
 	ck.words[machine.CounterWords] = s.Dom.Migrated
 	ck.vars = snapshot.AppendParticleVars(ck.vars[:0], &s.Dom.Active)
 	ck.vars = append(ck.vars, gio.Var{Name: "counters", Type: gio.Int64, I64: ck.words[:]})
-	if err := ck.w.Write(filepath.Join(dir, StateFile), ck.encodeMeta(s, nGlobal, true), ck.vars); err != nil {
+	if err := s.writeRetry(filepath.Join(dir, StateFile), ck.encodeMeta(s, nGlobal, true), ck.vars); err != nil {
 		return fmt.Errorf("core: checkpoint state: %w", err)
 	}
 
@@ -176,10 +176,39 @@ func (s *Simulation) checkpoint(dir string) error {
 		gio.Var{Name: "origin_rank", Type: gio.Int64, I64: ck.orank},
 		gio.Var{Name: "origin_n", Type: gio.Int64, I64: ck.on},
 	)
-	if err := ck.w.Write(filepath.Join(dir, ReplicaFile), ck.encodeMeta(s, nGlobal, false), ck.vars); err != nil {
+	if err := s.writeRetry(filepath.Join(dir, ReplicaFile), ck.encodeMeta(s, nGlobal, false), ck.vars); err != nil {
 		return fmt.Errorf("core: checkpoint replicas: %w", err)
 	}
 	return nil
+}
+
+// writeRetry runs one collective container write, retrying transient
+// failures up to Config.CheckpointRetries times with jittered exponential
+// backoff. Every gio failure path is agreed via AllOK (and abandoned
+// attempts remove their temporary file), so all ranks observe the same
+// error, sleep the same deterministic interval, and re-enter the collective
+// write in lockstep — no rank can be retrying while a peer has given up.
+func (s *Simulation) writeRetry(path string, meta []byte, vars []gio.Var) error {
+	ck := s.ckpt
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = ck.w.Write(path, meta, vars)
+		if err == nil || attempt >= s.Cfg.CheckpointRetries {
+			return err
+		}
+		s.Counters.CkptRetries++
+		d := s.Cfg.CheckpointRetryBackoff << attempt
+		if max := 32 * s.Cfg.CheckpointRetryBackoff; d > max {
+			d = max
+		}
+		// Deterministic jitter in [0, d/2): identical on every rank (the
+		// inputs are collective state), so the backoff cannot skew ranks
+		// apart, but successive attempts and steps spread out.
+		z := uint64(s.StepIndex+1)*0x9e3779b97f4a7c15 + uint64(attempt+1)
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		d += time.Duration(z % uint64(d/2+1))
+		time.Sleep(d)
+	}
 }
 
 // maybeCheckpoint writes a cadenced checkpoint when the completed step
@@ -387,35 +416,18 @@ func (s *Simulation) restoreReplicas(dir string, m ckptMeta) bool {
 // leaves the previous checkpoint reachable; the probe reads the file it
 // will hand to Restore, which reads it anyway.
 func LatestCheckpoint(root string) (string, error) {
-	entries, err := os.ReadDir(root)
-	if err != nil {
+	if _, err := os.Stat(root); err != nil {
 		return "", fmt.Errorf("core: scanning checkpoints: %w", err)
 	}
-	type cand struct {
-		step int
-		dir  string
-	}
-	var cands []cand
-	for _, e := range entries {
-		if !e.IsDir() {
-			continue
-		}
-		var k int
-		if n, _ := fmt.Sscanf(e.Name(), "step%d", &k); n != 1 {
-			continue
-		}
-		cands = append(cands, cand{k, filepath.Join(root, e.Name())})
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].step > cands[j].step })
-	for _, c := range cands {
-		gr, err := gio.Open(filepath.Join(c.dir, StateFile))
+	for _, dir := range checkpointDirs(root) {
+		gr, err := gio.Open(filepath.Join(dir, StateFile))
 		if err != nil {
 			continue
 		}
 		err = gr.Verify()
 		gr.Close()
 		if err == nil {
-			return c.dir, nil
+			return dir, nil
 		}
 	}
 	return "", fmt.Errorf("core: no restorable checkpoint under %s", root)

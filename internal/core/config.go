@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"hacc/internal/cosmology"
 	"hacc/internal/spectral"
@@ -114,6 +115,18 @@ type Config struct {
 	// after it completes), the same pattern as the in-situ P(k).
 	CheckpointEvery int
 	CheckpointDir   string
+
+	// Checkpoint write resilience (PR 6). A transient collective write
+	// failure (a flaky fsync, a momentarily full disk) retries up to
+	// CheckpointRetries times with jittered exponential backoff starting at
+	// CheckpointRetryBackoff, instead of failing the step. Every gio failure
+	// path is collectively agreed, so all ranks observe the same error and
+	// retry in lockstep; abandoned attempts leave no temporary files behind.
+	// Zero values take the defaults (2 retries, 50ms); negative values are
+	// rejected by Validate. Both are recovery knobs, not physics: they are
+	// excluded from the config fingerprint, so a restart may change them.
+	CheckpointRetries      int
+	CheckpointRetryBackoff time.Duration
 }
 
 // WithDefaults returns the config with defaults filled in.
@@ -162,6 +175,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.MinHaloSize == 0 {
 		c.MinHaloSize = 10
+	}
+	if c.CheckpointRetries == 0 {
+		c.CheckpointRetries = 2
+	}
+	if c.CheckpointRetryBackoff == 0 {
+		c.CheckpointRetryBackoff = 50 * time.Millisecond
 	}
 	return c
 }
@@ -229,6 +248,12 @@ func (c Config) Validate() error {
 	}
 	if c.CheckpointEvery == 0 && c.CheckpointDir != "" {
 		return fmt.Errorf("core: CheckpointDir %q needs CheckpointEvery ≥1", c.CheckpointDir)
+	}
+	if c.CheckpointRetries < 0 {
+		return fmt.Errorf("core: CheckpointRetries %d must be ≥0 (0 takes the default)", c.CheckpointRetries)
+	}
+	if c.CheckpointRetryBackoff < 0 {
+		return fmt.Errorf("core: CheckpointRetryBackoff %v must be ≥0 (0 takes the default)", c.CheckpointRetryBackoff)
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"hacc/internal/analysis"
 	"hacc/internal/cosmology"
 	"hacc/internal/domain"
+	"hacc/internal/fault"
 	"hacc/internal/grid"
 	"hacc/internal/ic"
 	"hacc/internal/machine"
@@ -266,6 +267,14 @@ func (s *Simulation) Step() error {
 func (s *Simulation) step() error {
 	if s.StepIndex >= s.sched.Steps {
 		return fmt.Errorf("core: all %d steps already taken", s.sched.Steps)
+	}
+	// Fault hook: "kill rank 2 at step 3" fires here, before any physics of
+	// the step runs, so the surviving checkpoint state is from a completed
+	// earlier step. One atomic load when no plan is armed.
+	if inj := fault.Armed(); inj != nil {
+		if err := inj.HitErr(fault.PointStep, s.Comm.Rank(), s.StepIndex); err != nil {
+			return fmt.Errorf("core: step %d: %w", s.StepIndex, err)
+		}
 	}
 	a0, a1 := s.sched.StepBounds(s.StepIndex)
 	ops := timestep.Ops(s.Cfg.Cosmo, a0, a1, s.sched.SubCycles)
@@ -695,6 +704,10 @@ func (s *Simulation) GlobalCounters() machine.Counters {
 		FFT3D:              s.Counters.FFT3D, // global transforms, not per-rank sums
 		FFTGridN:           s.Counters.FFTGridN,
 		CICOps:             tot[2],
+		// Collective events, identical on every rank: kept, not summed.
+		Restarts:        s.Counters.Restarts,
+		CkptRetries:     s.Counters.CkptRetries,
+		CkptQuarantined: s.Counters.CkptQuarantined,
 	}
 }
 

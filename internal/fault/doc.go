@@ -1,0 +1,29 @@
+// Package fault is a deterministic, seedable fault injector for the
+// simulation's resilience machinery (PR 6). Production HACC campaigns
+// treated node failure as routine (arXiv:1210.3317's checkpoint cadence;
+// the BG/Q campaigns of arXiv:1410.2805); reproducing that posture needs a
+// way to manufacture the failures on demand, identically on every run.
+//
+// The framework layers expose named injection points — message send/recv,
+// collective entry, container write/read/fsync, and the top of every
+// simulation step — each a single call into the armed Injector. A plan is a
+// parseable rule list:
+//
+//	kill rank 2 at step 3; fail every 5th fsync
+//
+// with verbs kill (panic as a simulated rank death), hang (park the
+// goroutine until Interrupt/Disarm), fail (injected I/O error), torn
+// (half-written chunk then error), drop (silently lose a message), and
+// delay (sleep). Rules select by rank and step and pace themselves with
+// every/after/once/prob; probabilistic rules draw from a SplitMix64 stream
+// seeded by the plan, so a seeded chaos test replays exactly.
+//
+// Arming is process-global (ranks are goroutines in one process):
+// fault.Arm(fault.MustParse(...)) installs a plan, fault.Disarm() removes
+// it, and fault.Interrupt() releases hang-parked goroutines during
+// supervised teardown while keeping the plan armed. The entire cost on an
+// un-faulted hot path is one atomic pointer load per hook site — no
+// allocation, no lock — so the framework stays wired into production code
+// paths permanently, and the allocation pins of the compute kernels hold
+// with the hooks in place.
+package fault

@@ -1,0 +1,287 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParsePlans(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Rule
+	}{
+		{"kill rank 2 at step 3", Rule{Verb: Kill, Point: PointStep, Rank: 2, Step: 3, Every: 1, Count: 1}},
+		{"hang rank 1 at step 2", Rule{Verb: Hang, Point: PointStep, Rank: 1, Step: 2, Every: 1, Count: 1}},
+		{"kill rank 0", Rule{Verb: Kill, Point: PointStep, Rank: 0, Step: -1, Every: 1, Count: 1}},
+		{"fail every 5th fsync", Rule{Verb: Fail, Point: PointFsync, Rank: -1, Step: -1, Every: 5}},
+		{"torn write on rank 1 once", Rule{Verb: Torn, Point: PointWrite, Rank: 1, Step: -1, Every: 1, Count: 1}},
+		{"drop sends on rank 0 after 10", Rule{Verb: Drop, Point: PointSend, Rank: 0, Step: -1, Every: 1, After: 10}},
+		{"fail read twice", Rule{Verb: Fail, Point: PointRead, Rank: -1, Step: -1, Every: 1, Count: 2}},
+		{"fail write prob 0.5", Rule{Verb: Fail, Point: PointWrite, Rank: -1, Step: -1, Every: 1, Prob: 0.5}},
+		{"fail write 3 times", Rule{Verb: Fail, Point: PointWrite, Rank: -1, Step: -1, Every: 1, Count: 3}},
+		{"delay 5ms recv on rank 2 every 3rd", Rule{Verb: Delay, Point: PointRecv, Rank: 2, Step: -1, Every: 3, Delay: 5 * time.Millisecond}},
+		{"hang collective on rank 1", Rule{Verb: Hang, Point: PointCollective, Rank: 1, Step: -1, Every: 1, Count: 1}},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.spec, err)
+			continue
+		}
+		if len(p.Rules) != 1 {
+			t.Errorf("Parse(%q): %d rules, want 1", tc.spec, len(p.Rules))
+			continue
+		}
+		if p.Rules[0] != tc.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", tc.spec, p.Rules[0], tc.want)
+		}
+	}
+}
+
+func TestParseMultiRule(t *testing.T) {
+	p, err := Parse("kill rank 2 at step 3; fail every 5th fsync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("got %d rules, want 2", len(p.Rules))
+	}
+	if p.Rules[0].Verb != Kill || p.Rules[1].Verb != Fail {
+		t.Fatalf("rule verbs %v, %v", p.Rules[0].Verb, p.Rules[1].Verb)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"explode rank 1",
+		"fail",                 // no point
+		"fail send",            // fail needs I/O or step point
+		"torn read",            // torn needs write
+		"drop recv",            // drop needs send
+		"fail write at step 2", // step selector needs the step point
+		"kill rank -1",         // negative rank
+		"fail write prob 1.5",  // probability out of range
+		"delay write",          // delay needs a duration
+		"fail write send",      // conflicting points
+		"kill rank 1 bananas",  // unknown token
+		"fail every 0th fsync", // every < 1
+		"fail write times 0",   // times < 1
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", spec)
+		}
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	spec := "kill step rank 2 at step 3; fail fsync every 5th; delay 5ms recv rank 1"
+	p := MustParse(spec)
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	for i := range p.Rules {
+		if p.Rules[i] != p2.Rules[i] {
+			t.Errorf("rule %d: %+v != %+v", i, p.Rules[i], p2.Rules[i])
+		}
+	}
+}
+
+func TestArmedNilWhenDisarmed(t *testing.T) {
+	Disarm()
+	if Armed() != nil {
+		t.Fatal("Armed() != nil with no plan armed")
+	}
+	// Interrupt and Disarm are safe with nothing armed.
+	Interrupt()
+	Disarm()
+}
+
+func TestKillFiresOnceAtSelectedSite(t *testing.T) {
+	inj := Arm(MustParse("kill rank 2 at step 3"))
+	defer Disarm()
+
+	// Wrong rank, wrong step: no fire.
+	if got := inj.Hit(PointStep, 1, 3); got != None {
+		t.Fatalf("wrong rank fired: %v", got)
+	}
+	if got := inj.Hit(PointStep, 2, 2); got != None {
+		t.Fatalf("wrong step fired: %v", got)
+	}
+	// Selected site: panics with *Crash.
+	func() {
+		defer func() {
+			p := recover()
+			c, ok := p.(*Crash)
+			if !ok {
+				t.Fatalf("panic value %T, want *Crash", p)
+			}
+			if c.Rank != 2 || c.Step != 3 {
+				t.Fatalf("Crash{Rank:%d Step:%d}, want 2/3", c.Rank, c.Step)
+			}
+			var err error = c
+			if !strings.Contains(err.Error(), "rank 2") {
+				t.Fatalf("Crash error %q", err)
+			}
+		}()
+		inj.Hit(PointStep, 2, 3)
+		t.Fatal("kill did not fire")
+	}()
+	// Count=1: consumed — the retried attempt passes the same site.
+	if got := inj.Hit(PointStep, 2, 3); got != None {
+		t.Fatalf("kill fired twice: %v", got)
+	}
+	if n := inj.Fired(PointStep); n != 1 {
+		t.Fatalf("Fired(step) = %d, want 1", n)
+	}
+}
+
+func TestEveryAfterPacing(t *testing.T) {
+	inj := Arm(MustParse("fail fsync every 3rd after 2"))
+	defer Disarm()
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if inj.Hit(PointFsync, -1, -1) == Failed {
+			fired = append(fired, i)
+		}
+	}
+	// hits 1,2 skipped by after; then every 3rd of the remainder: 5, 8, 11.
+	want := []int{5, 8, 11}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestProbDeterministicAcrossRearm(t *testing.T) {
+	run := func(seed uint64) []bool {
+		p := MustParse("drop send prob 0.5")
+		p.Seed = seed
+		inj := Arm(p)
+		defer Disarm()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = inj.Hit(PointSend, 0, -1) == Dropped
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	c := run(8)
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different drop sequences")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical drop sequences (suspicious)")
+	}
+}
+
+func TestHangReleasedByInterrupt(t *testing.T) {
+	inj := Arm(MustParse("hang rank 1 at step 0"))
+	defer Disarm()
+	released := make(chan struct{})
+	go func() {
+		inj.Hit(PointStep, 1, 0) // parks
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("hang did not park")
+	case <-time.After(50 * time.Millisecond):
+	}
+	Interrupt()
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Interrupt did not release the hung goroutine")
+	}
+	// The plan stays armed after Interrupt (with the hang consumed).
+	if Armed() == nil {
+		t.Fatal("Interrupt disarmed the plan")
+	}
+}
+
+func TestHitErrAndInjectedError(t *testing.T) {
+	inj := Arm(MustParse("torn write rank 0 once; fail read once"))
+	defer Disarm()
+	err := inj.HitErr(PointWrite, 0, -1)
+	var ie *InjectedError
+	if !errors.As(err, &ie) || !ie.Torn {
+		t.Fatalf("torn write HitErr = %v", err)
+	}
+	err = inj.HitErr(PointRead, -1, -1)
+	if !errors.As(err, &ie) || ie.Torn {
+		t.Fatalf("fail read HitErr = %v", err)
+	}
+	if err := inj.HitErr(PointRead, -1, -1); err != nil {
+		t.Fatalf("consumed rule re-fired: %v", err)
+	}
+}
+
+func TestRankRestrictedRuleNeverFiresAtAnonymousSite(t *testing.T) {
+	inj := Arm(MustParse("fail read rank 1"))
+	defer Disarm()
+	// Reader sites do not know their rank (-1); a rank-restricted rule must
+	// not fire for everyone there.
+	for i := 0; i < 8; i++ {
+		if err := inj.HitErr(PointRead, -1, -1); err != nil {
+			t.Fatalf("rank-restricted rule fired at rank-unknown site: %v", err)
+		}
+	}
+}
+
+func TestEventsLog(t *testing.T) {
+	inj := Arm(MustParse("fail fsync twice"))
+	defer Disarm()
+	inj.Hit(PointFsync, 3, -1)
+	inj.Hit(PointFsync, 4, -1)
+	inj.Hit(PointFsync, 5, -1) // count exhausted
+	ev := inj.Events()
+	if len(ev) != 2 {
+		t.Fatalf("%d events, want 2", len(ev))
+	}
+	if ev[0].Rank != 3 || ev[1].Rank != 4 || ev[0].Verb != Fail {
+		t.Fatalf("events %v", ev)
+	}
+	if !strings.Contains(ev[0].String(), "fsync") {
+		t.Fatalf("event string %q", ev[0])
+	}
+}
+
+func TestConcurrentHitsRace(t *testing.T) {
+	inj := Arm(MustParse("fail fsync every 7th; drop send prob 0.3"))
+	defer Disarm()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				inj.Hit(PointFsync, rank, -1)
+				inj.Hit(PointSend, rank, -1)
+				inj.HitErr(PointRead, -1, -1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := inj.Fired(PointFsync); n == 0 {
+		t.Fatal("no fsync rule fired across 1600 hits")
+	}
+}

@@ -1,0 +1,279 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse compiles a textual fault plan into rules. A plan is a
+// semicolon-separated rule list; each rule is a verb followed by
+// selectors, in natural-language order:
+//
+//	kill rank 2 at step 3
+//	hang rank 1 at step 2
+//	fail every 5th fsync
+//	torn write on rank 1 once
+//	drop sends on rank 0 after 10
+//	delay 5ms recv on rank 2 every 3rd
+//	fail read twice; fail write prob 0.5
+//
+// Verbs: kill, hang, fail, drop, torn, delay <duration>.
+// Points: step, send, recv, collective, write, read, fsync (plural and
+// "receive"/"sync" spellings accepted). kill and hang default to the step
+// point and to firing once; every other verb fires on every match unless
+// paced with "every Nth", "after N", "once"/"twice"/"N times", or
+// "prob P". "rank N" restricts to one world rank; "at step N" restricts to
+// one step index (0-based, the step about to execute) and is only legal on
+// the step point. Noise words ("on", "at", "the", "of") are ignored.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, fmt.Errorf("fault: rule %q: %w", part, err)
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("fault: empty plan %q", spec)
+	}
+	return p, nil
+}
+
+// MustParse is Parse for compile-time-constant plans in tests and
+// examples; it panics on a malformed spec.
+func MustParse(spec string) *Plan {
+	p, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// pointWords maps accepted point spellings to canonical point names.
+var pointWords = map[string]string{
+	"step": PointStep, "steps": PointStep,
+	"send": PointSend, "sends": PointSend,
+	"recv": PointRecv, "recvs": PointRecv, "receive": PointRecv, "receives": PointRecv,
+	"collective": PointCollective, "collectives": PointCollective,
+	"write": PointWrite, "writes": PointWrite,
+	"read": PointRead, "reads": PointRead,
+	"fsync": PointFsync, "fsyncs": PointFsync, "sync": PointFsync, "syncs": PointFsync,
+}
+
+func parseRule(s string) (Rule, error) {
+	r := Rule{Rank: -1, Step: -1, Every: 1}
+	toks := strings.Fields(strings.ToLower(strings.ReplaceAll(s, ",", " ")))
+	i := 0
+	next := func(what string) (string, error) {
+		if i >= len(toks) {
+			return "", fmt.Errorf("missing %s", what)
+		}
+		t := toks[i]
+		i++
+		return t, nil
+	}
+	nextInt := func(what string) (int, error) {
+		t, err := next(what)
+		if err != nil {
+			return 0, err
+		}
+		n, err := strconv.Atoi(t)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %q is not an integer", what, t)
+		}
+		return n, nil
+	}
+
+	verb, err := next("verb")
+	if err != nil {
+		return r, err
+	}
+	switch verb {
+	case "kill":
+		r.Verb = Kill
+	case "hang":
+		r.Verb = Hang
+	case "fail":
+		r.Verb = Fail
+	case "drop":
+		r.Verb = Drop
+	case "torn":
+		r.Verb = Torn
+	case "delay":
+		r.Verb = Delay
+		t, err := next("delay duration")
+		if err != nil {
+			return r, err
+		}
+		d, err := time.ParseDuration(t)
+		if err != nil || d <= 0 {
+			return r, fmt.Errorf("bad delay duration %q", t)
+		}
+		r.Delay = d
+	default:
+		return r, fmt.Errorf("unknown verb %q (want kill|hang|fail|drop|torn|delay)", verb)
+	}
+
+	for i < len(toks) {
+		t := toks[i]
+		i++
+		if pt, ok := pointWords[t]; ok {
+			// Bare point word — but "step N" is a step selector, not a
+			// point, when followed by an integer.
+			if pt == PointStep && i < len(toks) {
+				if n, err := strconv.Atoi(toks[i]); err == nil {
+					if n < 0 {
+						return r, fmt.Errorf("step %d must be ≥0", n)
+					}
+					r.Step = n
+					i++
+					continue
+				}
+			}
+			if r.Point != "" && r.Point != pt {
+				return r, fmt.Errorf("conflicting points %q and %q", r.Point, pt)
+			}
+			r.Point = pt
+			continue
+		}
+		switch t {
+		case "on", "at", "the", "a", "an", "of":
+			// noise
+		case "rank":
+			n, err := nextInt("rank")
+			if err != nil {
+				return r, err
+			}
+			if n < 0 {
+				return r, fmt.Errorf("rank %d must be ≥0", n)
+			}
+			r.Rank = n
+		case "every":
+			t, err := next("every count")
+			if err != nil {
+				return r, err
+			}
+			n, err := strconv.Atoi(strings.TrimRight(t, "stndrh")) // 5th, 2nd, 3rd, 1st
+			if err != nil || n < 1 {
+				return r, fmt.Errorf("bad every count %q", t)
+			}
+			r.Every = n
+		case "after":
+			n, err := nextInt("after count")
+			if err != nil {
+				return r, err
+			}
+			if n < 0 {
+				return r, fmt.Errorf("after %d must be ≥0", n)
+			}
+			r.After = n
+		case "once":
+			r.Count = 1
+		case "twice":
+			r.Count = 2
+		case "times":
+			n, err := nextInt("times count")
+			if err != nil {
+				return r, err
+			}
+			if n < 1 {
+				return r, fmt.Errorf("times %d must be ≥1", n)
+			}
+			r.Count = n
+		case "prob":
+			t, err := next("probability")
+			if err != nil {
+				return r, err
+			}
+			p, err := strconv.ParseFloat(t, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return r, fmt.Errorf("bad probability %q (want (0,1])", t)
+			}
+			r.Prob = p
+		default:
+			// "3 times" with the count first.
+			if n, aerr := strconv.Atoi(t); aerr == nil && i < len(toks) && toks[i] == "times" {
+				if n < 1 {
+					return r, fmt.Errorf("times %d must be ≥1", n)
+				}
+				r.Count = n
+				i++
+				continue
+			}
+			return r, fmt.Errorf("unknown token %q", t)
+		}
+	}
+
+	// Defaults and structural validation.
+	if r.Point == "" {
+		if r.Verb == Kill || r.Verb == Hang {
+			r.Point = PointStep
+		} else {
+			return r, fmt.Errorf("needs an injection point (step|send|recv|collective|write|read|fsync)")
+		}
+	}
+	if (r.Verb == Kill || r.Verb == Hang) && r.Count == 0 {
+		r.Count = 1 // a rank dies or wedges once; retries run clean
+	}
+	if r.Step >= 0 && r.Point != PointStep {
+		return r, fmt.Errorf("\"at step N\" is only legal on the step point, not %q", r.Point)
+	}
+	switch r.Verb {
+	case Fail:
+		switch r.Point {
+		case PointWrite, PointRead, PointFsync, PointStep:
+		default:
+			return r, fmt.Errorf("fail needs an I/O or step point, not %q", r.Point)
+		}
+	case Torn:
+		if r.Point != PointWrite {
+			return r, fmt.Errorf("torn needs the write point, not %q", r.Point)
+		}
+	case Drop:
+		if r.Point != PointSend {
+			return r, fmt.Errorf("drop needs the send point, not %q", r.Point)
+		}
+	}
+	return r, nil
+}
+
+// String renders the plan back into parseable rule syntax.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for ri, r := range p.Rules {
+		if ri > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(r.Verb.String())
+		if r.Verb == Delay {
+			fmt.Fprintf(&b, " %v", r.Delay)
+		}
+		b.WriteString(" " + r.Point)
+		if r.Rank >= 0 {
+			fmt.Fprintf(&b, " rank %d", r.Rank)
+		}
+		if r.Step >= 0 {
+			fmt.Fprintf(&b, " at step %d", r.Step)
+		}
+		if r.Every > 1 {
+			fmt.Fprintf(&b, " every %dth", r.Every)
+		}
+		if r.After > 0 {
+			fmt.Fprintf(&b, " after %d", r.After)
+		}
+		if r.Count > 0 {
+			fmt.Fprintf(&b, " times %d", r.Count)
+		}
+		if r.Prob > 0 && r.Prob < 1 {
+			fmt.Fprintf(&b, " prob %g", r.Prob)
+		}
+	}
+	return b.String()
+}

@@ -24,4 +24,11 @@
 // outcome, and rank 0 atomically renames the finished container into
 // place. Writer scratch persists across calls, so a warm collective write
 // allocates nothing beyond file descriptors and the index exchange.
+//
+// Every write, read, and fsync passes a named fault-injection point
+// (internal/fault, PR 6), so torn writes and transient I/O errors are
+// manufactured on demand in chaos tests; because all failure paths are
+// collectively agreed, an injected single-rank fault still yields one
+// consistent outcome — which is what lets core retry a failed collective
+// checkpoint write in lockstep.
 package gio

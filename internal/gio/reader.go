@@ -8,6 +8,8 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"hacc/internal/fault"
 )
 
 // VarInfo describes one column of an open container.
@@ -236,6 +238,11 @@ type Reader struct {
 
 // Open opens a container file and parses + verifies its index.
 func Open(path string) (*Reader, error) {
+	if inj := fault.Armed(); inj != nil {
+		if err := inj.HitErr(fault.PointRead, -1, -1); err != nil {
+			return nil, fmt.Errorf("%w (opening %s)", err, path)
+		}
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -306,6 +313,11 @@ func (r *Reader) Verify() error {
 
 // readBlock fetches and CRC-verifies one column block's payload.
 func (r *Reader) readBlock(rank, vi int) ([]byte, error) {
+	if inj := fault.Armed(); inj != nil {
+		if err := inj.HitErr(fault.PointRead, -1, -1); err != nil {
+			return nil, fmt.Errorf("gio: reading column %q of rank %d: %w", r.vars[vi].Name, rank, err)
+		}
+	}
 	off, rows := r.blockAt(rank, vi)
 	n := rows * uint64(r.vars[vi].Type.Size())
 	buf := make([]byte, n+crcFooterSize)

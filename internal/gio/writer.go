@@ -8,8 +8,20 @@ import (
 	"os"
 	"path/filepath"
 
+	"hacc/internal/fault"
 	"hacc/internal/mpi"
 )
+
+// syncFile fsyncs a container file, reporting to an armed fault injector
+// first so plans like "fail every 5th fsync" exercise the durability paths.
+func syncFile(f *os.File, rank int) error {
+	if inj := fault.Armed(); inj != nil {
+		if err := inj.HitErr(fault.PointFsync, rank, -1); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
 
 // syncDir fsyncs a directory so a just-renamed entry survives a crash.
 func syncDir(dir string) error {
@@ -17,11 +29,30 @@ func syncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	serr := d.Sync()
+	serr := syncFile(d, -1)
 	if cerr := d.Close(); serr == nil {
 		serr = cerr
 	}
 	return serr
+}
+
+// hitWrite asks an armed injector whether this write chunk should fail. A
+// Torn outcome writes the first half of the chunk before erroring — the
+// partial-flush shape a real crash leaves behind — so CRC verification and
+// quarantine paths see realistic damage.
+func hitWrite(f *os.File, b []byte, off int64, rank int) error {
+	inj := fault.Armed()
+	if inj == nil {
+		return nil
+	}
+	switch inj.Hit(fault.PointWrite, rank, -1) {
+	case fault.Failed:
+		return &fault.InjectedError{Point: fault.PointWrite, Rank: rank}
+	case fault.TornWrite:
+		f.WriteAt(b[:len(b)/2], off)
+		return &fault.InjectedError{Point: fault.PointWrite, Rank: rank, Torn: true}
+	}
+	return nil
 }
 
 // appendIndex assembles the complete index region (header, var table, meta,
@@ -123,6 +154,11 @@ func WriteTo(w io.Writer, meta []byte, vars []Var) error {
 	for i := range vars {
 		v := &vars[i]
 		err := streamBlock(v, buf, func(b []byte) error {
+			if inj := fault.Armed(); inj != nil {
+				if err := inj.HitErr(fault.PointWrite, -1, -1); err != nil {
+					return fmt.Errorf("gio: writing column %q: %w", v.Name, err)
+				}
+			}
 			if _, err := w.Write(b); err != nil {
 				return fmt.Errorf("gio: writing column %q: %w", v.Name, err)
 			}
@@ -277,7 +313,7 @@ func (w *Writer) writeIndex(tmp string, meta []byte, vars []Var, allRows []uint6
 		f.Close()
 		return err
 	}
-	if err := f.Sync(); err != nil {
+	if err := syncFile(f, w.c.Rank()); err != nil {
 		f.Close()
 		return err
 	}
@@ -294,9 +330,13 @@ func (w *Writer) writeBlocksAt(tmp string, vars []Var, off int64) error {
 	if w.buf == nil {
 		w.buf = make([]byte, chunkBytes)
 	}
+	me := w.c.Rank()
 	for i := range vars {
 		v := &vars[i]
 		err := streamBlock(v, w.buf, func(b []byte) error {
+			if err := hitWrite(f, b, off, me); err != nil {
+				return fmt.Errorf("writing column %q: %w", v.Name, err)
+			}
 			if _, err := f.WriteAt(b, off); err != nil {
 				return fmt.Errorf("writing column %q: %w", v.Name, err)
 			}
@@ -311,7 +351,7 @@ func (w *Writer) writeBlocksAt(tmp string, vars []Var, off int64) error {
 	// Data pages must be on disk before the collective agrees to publish
 	// the container under its final (restorable) name — rename is metadata
 	// and can otherwise reach disk first across a crash.
-	if err := f.Sync(); err != nil {
+	if err := syncFile(f, me); err != nil {
 		f.Close()
 		return err
 	}

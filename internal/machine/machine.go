@@ -46,6 +46,15 @@ type Counters struct {
 	FFT3D    int64
 	FFTGridN int   // grid size per transform
 	CICOps   int64 // particle·field deposit/interp operations
+
+	// Resilience accounting (PR 6). These are campaign-health metrics, not
+	// flop sources: Flops ignores them. Restarts counts supervised
+	// resume-from-checkpoint cycles; CkptRetries counts checkpoint write
+	// attempts that failed and were retried; CkptQuarantined counts damaged
+	// checkpoint directories moved out of the resume path.
+	Restarts        int64
+	CkptRetries     int64
+	CkptQuarantined int64
 }
 
 // Flops converts the counters to a total flop count under the model.
@@ -63,11 +72,14 @@ func (c *Counters) Add(o Counters) {
 		c.FFTGridN = o.FFTGridN
 	}
 	c.CICOps += o.CICOps
+	c.Restarts += o.Restarts
+	c.CkptRetries += o.CkptRetries
+	c.CkptQuarantined += o.CkptQuarantined
 }
 
 // CounterWords is the number of int64 words Encode packs — the per-rank
 // counter block a checkpoint stores for each rank.
-const CounterWords = 4
+const CounterWords = 7
 
 // Encode packs the counters into the first CounterWords entries of w, for
 // checkpointing. Decode inverts it; MergeRestored folds blocks adopted from
@@ -77,6 +89,9 @@ func (c *Counters) Encode(w []int64) {
 	w[1] = c.FFT3D
 	w[2] = int64(c.FFTGridN)
 	w[3] = c.CICOps
+	w[4] = c.Restarts
+	w[5] = c.CkptRetries
+	w[6] = c.CkptQuarantined
 }
 
 // Decode replaces the counters with an encoded block.
@@ -85,6 +100,9 @@ func (c *Counters) Decode(w []int64) {
 	c.FFT3D = w[1]
 	c.FFTGridN = int(w[2])
 	c.CICOps = w[3]
+	c.Restarts = w[4]
+	c.CkptRetries = w[5]
+	c.CkptQuarantined = w[6]
 }
 
 // MergeRestored folds a counter block adopted from another rank's
@@ -93,6 +111,9 @@ func (c *Counters) Decode(w []int64) {
 // transforms that every rank participated in (each rank's value is the
 // same), so it is kept rather than summed — summing would inflate it by
 // the number of adopted blocks; FFTGridN is a parameter, not a count.
+// The resilience counters record collective events (a restart resumes the
+// whole world, a checkpoint retry is agreed by every rank), so like FFT3D
+// they are kept-if-zero rather than summed.
 func (c *Counters) MergeRestored(w []int64) {
 	c.KernelInteractions += w[0]
 	if c.FFT3D == 0 {
@@ -102,6 +123,15 @@ func (c *Counters) MergeRestored(w []int64) {
 		c.FFTGridN = int(w[2])
 	}
 	c.CICOps += w[3]
+	if c.Restarts == 0 {
+		c.Restarts = w[4]
+	}
+	if c.CkptRetries == 0 {
+		c.CkptRetries = w[5]
+	}
+	if c.CkptQuarantined == 0 {
+		c.CkptQuarantined = w[6]
+	}
 }
 
 // ProjectedBGQ returns the sustained TFlops and %-of-peak that `nodes` BG/Q

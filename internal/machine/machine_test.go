@@ -72,7 +72,10 @@ func TestTimers(t *testing.T) {
 // with per-rank sums adding while the global transform count and grid
 // parameter are kept, not summed.
 func TestCounterCheckpointWords(t *testing.T) {
-	orig := Counters{KernelInteractions: 123456, FFT3D: 48, FFTGridN: 256, CICOps: 7890}
+	orig := Counters{
+		KernelInteractions: 123456, FFT3D: 48, FFTGridN: 256, CICOps: 7890,
+		Restarts: 2, CkptRetries: 3, CkptQuarantined: 1,
+	}
 	w := make([]int64, CounterWords)
 	orig.Encode(w)
 	var back Counters
@@ -80,15 +83,28 @@ func TestCounterCheckpointWords(t *testing.T) {
 	if back != orig {
 		t.Fatalf("Decode(Encode(c)) = %+v, want %+v", back, orig)
 	}
-	// A reader rank adopting two writer blocks: additive fields sum, FFT3D
-	// and FFTGridN (identical on every writer rank) are kept once.
+	// A reader rank adopting two writer blocks: additive fields sum; FFT3D,
+	// FFTGridN, and the resilience counters (identical on every writer rank
+	// — restarts and retries are collective events) are kept once.
 	w2 := make([]int64, CounterWords)
-	(&Counters{KernelInteractions: 1000, FFT3D: 48, FFTGridN: 256, CICOps: 10}).Encode(w2)
+	(&Counters{
+		KernelInteractions: 1000, FFT3D: 48, FFTGridN: 256, CICOps: 10,
+		Restarts: 2, CkptRetries: 3, CkptQuarantined: 1,
+	}).Encode(w2)
 	var merged Counters
 	merged.MergeRestored(w)
 	merged.MergeRestored(w2)
-	want := Counters{KernelInteractions: 124456, FFT3D: 48, FFTGridN: 256, CICOps: 7900}
+	want := Counters{
+		KernelInteractions: 124456, FFT3D: 48, FFTGridN: 256, CICOps: 7900,
+		Restarts: 2, CkptRetries: 3, CkptQuarantined: 1,
+	}
 	if merged != want {
 		t.Fatalf("merged = %+v, want %+v", merged, want)
+	}
+	// The resilience counters are campaign health, not modeled work.
+	withR := Counters{KernelInteractions: 100, Restarts: 50, CkptRetries: 50, CkptQuarantined: 50}
+	noR := Counters{KernelInteractions: 100}
+	if withR.Flops() != noR.Flops() {
+		t.Fatalf("resilience counters leak into Flops: %g != %g", withR.Flops(), noR.Flops())
 	}
 }

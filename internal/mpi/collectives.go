@@ -1,6 +1,20 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"hacc/internal/fault"
+)
+
+// hitCollective reports entry into a collective to an armed fault injector.
+// Nested collectives (AllGather's Gather+Bcast, AllOK's AllReduce) each
+// report, so "every Nth collective" counts primitive entries, not top-level
+// calls.
+func hitCollective(c *Comm) {
+	if inj := fault.Armed(); inj != nil {
+		inj.Hit(fault.PointCollective, c.worldRank(c.rank), -1)
+	}
+}
 
 // Reserved internal tags for collectives. User code should use tags >= 0;
 // collective traffic uses the high bit so the two never collide.
@@ -19,6 +33,7 @@ const (
 // Implemented as a dissemination barrier: ceil(log2 p) rounds of pairwise
 // messages, the same pattern used by high-quality MPI implementations.
 func Barrier(c *Comm) {
+	hitCollective(c)
 	p := c.Size()
 	if p == 1 {
 		return
@@ -35,6 +50,7 @@ func Barrier(c *Comm) {
 // Bcast distributes root's buffer to every rank and returns it. Ranks other
 // than root may pass nil. Implemented as a binomial tree.
 func Bcast[T any](c *Comm, root int, buf []T) []T {
+	hitCollective(c)
 	p := c.Size()
 	if p == 1 {
 		return buf
@@ -66,6 +82,7 @@ type Op[T any] func(a, b T) T
 // Reduce combines equal-length buffers element-wise with op, leaving the
 // result on root. Non-root ranks receive nil. Binomial-tree reduction.
 func Reduce[T any](c *Comm, root int, buf []T, op Op[T]) []T {
+	hitCollective(c)
 	p := c.Size()
 	acc := append([]T(nil), buf...)
 	if p == 1 {
@@ -101,6 +118,7 @@ func Reduce[T any](c *Comm, root int, buf []T, op Op[T]) []T {
 // the result on every rank. Recursive doubling with a pre/post phase for
 // non-power-of-two sizes.
 func AllReduce[T any](c *Comm, buf []T, op Op[T]) []T {
+	hitCollective(c)
 	p := c.Size()
 	acc := append([]T(nil), buf...)
 	if p == 1 {
@@ -163,6 +181,7 @@ func AllReduce[T any](c *Comm, buf []T, op Op[T]) []T {
 // Gather concentrates each rank's buffer on root, concatenated in rank
 // order. Buffers may have different lengths. Non-root ranks receive nil.
 func Gather[T any](c *Comm, root int, buf []T) []T {
+	hitCollective(c)
 	p := c.Size()
 	c.checkRank(root, "root")
 	if c.Rank() != root {
@@ -198,6 +217,7 @@ func AllGather[T any](c *Comm, buf []T) []T {
 // Scatter splits root's parts (one slice per rank) and delivers parts[r] to
 // rank r. Non-root ranks pass nil.
 func Scatter[T any](c *Comm, root int, parts [][]T) []T {
+	hitCollective(c)
 	p := c.Size()
 	c.checkRank(root, "root")
 	if c.Rank() == root {
@@ -220,6 +240,7 @@ func Scatter[T any](c *Comm, root int, parts [][]T) []T {
 // rank r. Buffers may have arbitrary (including zero) lengths — this is
 // MPI_Alltoallv. Pairwise-exchange schedule.
 func AllToAll[T any](c *Comm, sendParts [][]T) [][]T {
+	hitCollective(c)
 	p := c.Size()
 	if len(sendParts) != p {
 		panic(fmt.Sprintf("mpi: AllToAll needs %d parts, got %d", p, len(sendParts)))

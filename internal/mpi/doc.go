@@ -16,6 +16,16 @@
 // true result doubles as a completion barrier for file-visibility
 // ordering (create before open, write before rename).
 //
+// PR 6 added failure detection and classified teardown. A panicking rank
+// aborts the world and wakes every peer parked in Recv/Wait/collectives
+// (each surfaces an *AbortError); World.SetTimeout bounds every blocking
+// operation so a silently wedged rank is detected as a *TimeoutError rather
+// than hanging the world; World.RunDeadline adds an outer wall-clock bound
+// for ranks stuck outside mpi calls; Comm.Abort lets a rank take the world
+// down deterministically; Request.WaitTimeout is the error-returning wait.
+// Send, receive, and collective entry points carry fault-injection hooks
+// (internal/fault) that cost one atomic load when no plan is armed.
+//
 // HACC uses MPI for its long/medium-range force framework; this package is
 // the substitute substrate that lets the rest of the code run unmodified at
 // "scale" on a single machine.

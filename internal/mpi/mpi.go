@@ -4,7 +4,49 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hacc/internal/fault"
 )
+
+// TimeoutError reports a blocking operation that exceeded the world's
+// operation timeout (see World.SetTimeout) or a Run that exceeded its
+// deadline (see RunDeadline). It is how a wedged rank — one that stopped
+// sending without panicking — surfaces as a classifiable failure instead of
+// blocking the world forever.
+type TimeoutError struct {
+	Rank    int           // rank whose wait timed out; -1 for a whole-world deadline
+	Src     int           // source rank the wait was matching (AnySource = any)
+	Tag     int           // tag the wait was matching (AnyTag = any)
+	Timeout time.Duration // the limit that was exceeded
+}
+
+func (e *TimeoutError) Error() string {
+	if e.Rank < 0 {
+		return fmt.Sprintf("mpi: world deadline %v exceeded", e.Timeout)
+	}
+	return fmt.Sprintf("mpi: rank %d timed out after %v waiting for message src=%d tag=%d",
+		e.Rank, e.Timeout, e.Src, e.Tag)
+}
+
+// AbortError reports that the world was aborted — by a rank panicking, by an
+// explicit Comm.Abort, or by a Run deadline — while the failing operation was
+// blocked. Reason carries the cause recorded at abort time.
+type AbortError struct {
+	Rank   int // rank that observed the abort (not necessarily the cause)
+	Src    int
+	Tag    int
+	Reason string
+}
+
+func (e *AbortError) Error() string {
+	reason := e.Reason
+	if reason == "" {
+		reason = "world aborted"
+	}
+	return fmt.Sprintf("mpi: rank %d: %s (while waiting for message src=%d tag=%d)",
+		e.Rank, reason, e.Src, e.Tag)
+}
 
 // AnySource matches a message from any source rank in Recv.
 const AnySource = -1
@@ -26,10 +68,12 @@ type mailbox struct {
 	cond    *sync.Cond
 	pending []message
 	aborted bool
+	reason  string // why the world aborted, for error messages
+	rank    int    // world rank this mailbox belongs to
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(rank int) *mailbox {
+	m := &mailbox{rank: rank}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -41,24 +85,39 @@ func (m *mailbox) put(msg message) {
 	m.cond.Broadcast()
 }
 
-func (m *mailbox) abort() {
+func (m *mailbox) abort(reason string) {
 	m.mu.Lock()
 	m.aborted = true
+	m.reason = reason
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
 
 // take removes and returns the first message matching (ctx, src, tag),
-// blocking until one arrives. It returns an error if the world aborted.
-func (m *mailbox) take(ctx int64, src, tag int) (message, error) {
+// blocking until one arrives. It returns an *AbortError if the world
+// aborted, or a *TimeoutError if timeout > 0 elapses without a match — a
+// wedged peer is detected here rather than hanging the caller forever.
+func (m *mailbox) take(ctx int64, src, tag int, timeout time.Duration) (message, error) {
+	var deadline time.Time
+	var alarm *time.Timer
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// cond.Wait cannot time out on its own; an external timer wakes the
+		// waiters so the deadline check below runs.
+		alarm = time.AfterFunc(timeout, m.cond.Broadcast)
+		defer alarm.Stop()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
 		if m.aborted {
-			return message{}, fmt.Errorf("mpi: world aborted while waiting for message src=%d tag=%d", src, tag)
+			return message{}, &AbortError{Rank: m.rank, Src: src, Tag: tag, Reason: m.reason}
 		}
 		if msg, ok := m.match(ctx, src, tag); ok {
 			return msg, nil
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return message{}, &TimeoutError{Rank: m.rank, Src: src, Tag: tag, Timeout: timeout}
 		}
 		m.cond.Wait()
 	}
@@ -70,7 +129,7 @@ func (m *mailbox) tryTake(ctx int64, src, tag int) (message, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.aborted {
-		return message{}, false, fmt.Errorf("mpi: world aborted while testing for message src=%d tag=%d", src, tag)
+		return message{}, false, &AbortError{Rank: m.rank, Src: src, Tag: tag, Reason: m.reason}
 	}
 	msg, ok := m.match(ctx, src, tag)
 	return msg, ok, nil
@@ -104,6 +163,9 @@ type World struct {
 	splitMu   sync.Mutex
 	splitCtxs map[splitKey]int64
 	aborted   atomic.Bool
+	abortCh   chan struct{}         // closed once on abort; wakes RunDeadline early
+	firstErr  atomic.Pointer[error] // first rank failure of the current Run
+	timeout   atomic.Int64          // per-blocking-op limit in nanoseconds; 0 = none
 
 	// Bytes moved through point-to-point sends, for bandwidth accounting.
 	BytesSent atomic.Int64
@@ -122,10 +184,10 @@ func NewWorld(size int) *World {
 	if size <= 0 {
 		panic("mpi: world size must be positive")
 	}
-	w := &World{size: size, splitCtxs: make(map[splitKey]int64)}
+	w := &World{size: size, splitCtxs: make(map[splitKey]int64), abortCh: make(chan struct{})}
 	w.boxes = make([]*mailbox, size)
 	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
+		w.boxes[i] = newMailbox(i)
 	}
 	w.nextCtx.Store(1) // ctx 0 is the world communicator
 	return w
@@ -134,31 +196,55 @@ func NewWorld(size int) *World {
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
 
-// abort wakes all blocked receivers with an error.
-func (w *World) abort() {
+// SetTimeout bounds every subsequent blocking operation (Recv, Wait,
+// collective legs) on this world: a wait that exceeds d fails with a
+// *TimeoutError, which aborts the world and surfaces from Run. Zero disables
+// the limit (the default). The limit must comfortably exceed the worst-case
+// compute imbalance between ranks, or healthy-but-slow peers will be
+// misdiagnosed as hung.
+func (w *World) SetTimeout(d time.Duration) { w.timeout.Store(int64(d)) }
+
+// Timeout returns the current per-operation timeout (zero = none).
+func (w *World) Timeout() time.Duration { return time.Duration(w.timeout.Load()) }
+
+// Aborted reports whether the world has been aborted.
+func (w *World) Aborted() bool { return w.aborted.Load() }
+
+// abortWith wakes all blocked receivers with an error carrying reason.
+func (w *World) abortWith(reason string) {
 	if w.aborted.Swap(true) {
 		return
 	}
 	for _, b := range w.boxes {
-		b.abort()
+		b.abort(reason)
 	}
+	close(w.abortCh)
 }
 
 // Run executes fn concurrently on every rank of the world and waits for all
 // ranks to finish. If any rank panics, the remaining ranks are aborted and
-// Run returns an error describing the first panic. Run may be called again
-// on the same world only if the previous call returned nil.
+// Run returns an error describing the first panic; panic values that are
+// errors (an injected fault.Crash, an *AbortError, a *TimeoutError) are
+// wrapped so callers can classify them with errors.As. Run may be called
+// again on the same world only if the previous call returned nil.
 func (w *World) Run(fn func(c *Comm)) error {
 	var wg sync.WaitGroup
-	var firstErr atomic.Value
+	w.firstErr.Store(nil)
+	firstErr := &w.firstErr
 	for r := 0; r < w.size; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					firstErr.CompareAndSwap(nil, fmt.Errorf("mpi: rank %d panicked: %v", rank, p))
-					w.abort()
+					var err error
+					if e, ok := p.(error); ok {
+						err = fmt.Errorf("mpi: rank %d: %w", rank, e)
+					} else {
+						err = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					}
+					firstErr.CompareAndSwap(nil, &err)
+					w.abortWith(fmt.Sprintf("world aborted: rank %d failed: %v", rank, p))
 				}
 			}()
 			fn(&Comm{world: w, ctx: 0, rank: rank, ranks: nil})
@@ -166,9 +252,69 @@ func (w *World) Run(fn func(c *Comm)) error {
 	}
 	wg.Wait()
 	if e := firstErr.Load(); e != nil {
-		return e.(error)
+		return *e
 	}
 	return nil
+}
+
+// RunDeadline is Run with a wall-clock bound on the whole world. If the
+// ranks do not all finish within d, the world is aborted (waking every rank
+// blocked in a receive or collective) and RunDeadline returns a
+// *TimeoutError after a short grace period. Ranks wedged outside mpi calls
+// — spinning in compute, or parked by an injected hang — cannot be
+// preempted; their goroutines are abandoned and drain when whatever blocks
+// them releases (the fault injector's Interrupt, typically). The abandoned
+// runner recovers their eventual panics, so a leak never crashes the
+// process.
+func (w *World) RunDeadline(fn func(c *Comm), d time.Duration) error {
+	if d <= 0 {
+		return w.Run(fn)
+	}
+	done := make(chan error, 1) // buffered: the runner must not leak blocked
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- fmt.Errorf("mpi: run panicked: %v", p)
+			}
+		}()
+		done <- w.Run(fn)
+	}()
+	grace := d / 4
+	if grace < 100*time.Millisecond {
+		grace = 100 * time.Millisecond
+	}
+	if grace > 2*time.Second {
+		grace = 2 * time.Second // abort wakes survivors immediately; don't linger
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-w.abortCh:
+		// A rank already failed (panic, per-op timeout, explicit Abort) and
+		// the world is tearing down — no reason to sleep until the deadline.
+		// Give the survivors a grace period to drain; if a wedged rank keeps
+		// Run from returning, report the recorded first failure so the caller
+		// can still classify it.
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(grace):
+			if e := w.firstErr.Load(); e != nil {
+				return *e
+			}
+			return &TimeoutError{Rank: -1, Src: AnySource, Tag: AnyTag, Timeout: d}
+		}
+	case <-time.After(d):
+	}
+	w.abortWith(fmt.Sprintf("world aborted: deadline %v exceeded", d))
+	select {
+	case <-done:
+		// The ranks drained once woken; still report the deadline — the run
+		// did not complete, it was cut short.
+	case <-time.After(grace):
+		// Truly wedged goroutines are leaked; see doc comment.
+	}
+	return &TimeoutError{Rank: -1, Src: AnySource, Tag: AnyTag, Timeout: d}
 }
 
 // Run is a convenience that creates a world of the given size and runs fn.
@@ -215,9 +361,24 @@ func (c *Comm) checkRank(r int, what string) {
 	}
 }
 
+// Abort marks the world aborted with the given reason and panics with an
+// *AbortError, unblocking every peer parked in a Recv, Wait, or collective.
+// It is the local-failure escape hatch: a rank that detects an unrecoverable
+// condition takes the whole world down deterministically instead of leaving
+// its peers deadlocked waiting for messages that will never come.
+func (c *Comm) Abort(reason string) {
+	c.world.abortWith(fmt.Sprintf("world aborted: rank %d: %s", c.worldRank(c.rank), reason))
+	panic(&AbortError{Rank: c.worldRank(c.rank), Src: AnySource, Tag: AnyTag, Reason: reason})
+}
+
 // send delivers payload (a slice that the receiver will own) to dst.
 func (c *Comm) send(dst, tag int, payload any, bytes int) {
 	c.checkRank(dst, "destination")
+	if inj := fault.Armed(); inj != nil {
+		if inj.Hit(fault.PointSend, c.worldRank(c.rank), -1) == fault.Dropped {
+			return // message silently lost, as if the wire ate it
+		}
+	}
 	c.world.BytesSent.Add(int64(bytes))
 	c.world.MsgsSent.Add(1)
 	c.world.boxes[c.worldRank(dst)].put(message{ctx: c.ctx, src: c.rank, tag: tag, payload: payload})
@@ -228,7 +389,10 @@ func (c *Comm) recv(src, tag int) any {
 	if src != AnySource {
 		c.checkRank(src, "source")
 	}
-	msg, err := c.world.boxes[c.worldRank(c.rank)].take(c.ctx, src, tag)
+	if inj := fault.Armed(); inj != nil {
+		inj.Hit(fault.PointRecv, c.worldRank(c.rank), -1)
+	}
+	msg, err := c.world.boxes[c.worldRank(c.rank)].take(c.ctx, src, tag, c.world.Timeout())
 	if err != nil {
 		panic(err)
 	}

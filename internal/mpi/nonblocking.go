@@ -1,6 +1,11 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"hacc/internal/fault"
+)
 
 // Non-blocking point-to-point API. Sends in this runtime are eager (the
 // payload is buffered in the receiver's mailbox at post time, as with
@@ -64,20 +69,39 @@ func IrecvInit(c *Comm, src, tag int, r *Request) {
 }
 
 // Wait blocks until the request completes. For receives the payload becomes
-// available via Payload. Wait panics if the world aborted.
+// available via Payload. Wait panics if the world aborted or the world's
+// operation timeout (World.SetTimeout) elapsed.
 func (r *Request) Wait() {
+	if err := r.WaitTimeout(0); err != nil {
+		panic(err)
+	}
+}
+
+// WaitTimeout blocks until the request completes, the world aborts, or the
+// timeout elapses, returning the failure as an error instead of panicking.
+// A zero timeout falls back to the world's operation timeout (which may
+// itself be zero, meaning wait forever). On error the request remains
+// incomplete.
+func (r *Request) WaitTimeout(timeout time.Duration) error {
 	if r.done {
-		return
+		return nil
 	}
 	if r.c == nil {
 		panic("mpi: Wait on zero Request")
 	}
-	msg, err := r.c.world.boxes[r.c.worldRank(r.c.rank)].take(r.c.ctx, r.src, r.tag)
+	if inj := fault.Armed(); inj != nil {
+		inj.Hit(fault.PointRecv, r.c.worldRank(r.c.rank), -1)
+	}
+	if timeout <= 0 {
+		timeout = r.c.world.Timeout()
+	}
+	msg, err := r.c.world.boxes[r.c.worldRank(r.c.rank)].take(r.c.ctx, r.src, r.tag, timeout)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	r.payload = msg.payload
 	r.done = true
+	return nil
 }
 
 // Test reports whether the request has completed, completing it if a
