@@ -94,10 +94,13 @@ func BenchmarkFig5_KernelThreading(b *testing.B) {
 		fmt.Println("\n=== Fig. 5 (kernel throughput vs list size × threads) ===")
 		bench.PrintKernelTable(os.Stdout, rows)
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
+	var last bench.KernelResult
 	for i := 0; i < b.N; i++ {
-		bench.RunKernel(1024, 64, 4, 10*time.Millisecond)
+		last = bench.RunKernel(1024, 64, 4, 10*time.Millisecond)
 	}
+	b.ReportMetric(last.InteractionsSec, "interactions/s")
 }
 
 // BenchmarkFig6_PoissonWeakScaling reproduces Fig. 6: time per solve per

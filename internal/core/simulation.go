@@ -513,7 +513,7 @@ func (s *Simulation) kickShort(w float64) {
 			t0 = time.Now()
 			// Forest threading splits goroutines across sub-trees itself;
 			// it does not use the flat worker pool.
-			sc.fr.ComputeForces(s.Kernel.Apply, s.Cfg.RCut, s.Cfg.Threads)
+			sc.fr.ComputeForcesRanges(s.Kernel.ApplyRanges, s.Cfg.RCut, s.Cfg.Threads)
 			walkAndKernel := time.Since(t0)
 			inter := sc.fr.Interactions()
 			s.Counters.KernelInteractions += inter
@@ -531,7 +531,7 @@ func (s *Simulation) kickShort(w float64) {
 		tr.Rebuild(x, y, z)
 		s.Timers.Add("build", time.Since(t0))
 		t0 = time.Now()
-		tr.ComputeForcesPool(s.Kernel.Apply, s.Cfg.RCut, s.pool)
+		tr.ComputeForcesPoolRanges(s.Kernel.ApplyRanges, s.Cfg.RCut, s.pool)
 		walkAndKernel := time.Since(t0)
 		inter := tr.Interactions.Load()
 		s.Counters.KernelInteractions += inter
@@ -553,7 +553,7 @@ func (s *Simulation) kickShort(w float64) {
 		cm.Rebuild(x, y, z)
 		s.Timers.Add("build", time.Since(t0))
 		t0 = time.Now()
-		cm.ComputeForcesPool(s.Kernel.Apply, s.pool)
+		cm.ComputeForcesPoolRanges(s.Kernel.ApplyRanges, s.pool)
 		s.Timers.Add("kernel", time.Since(t0))
 		s.Counters.KernelInteractions += cm.Interactions.Load()
 		cm.AccelInto(ax, ay, az)

@@ -10,4 +10,15 @@
 // PR 1 made the mesh persistent: Rebuild re-bins in place (retaining CSR
 // offsets, accumulators, and per-worker walk scratch) and ComputeForcesPool
 // runs the pair kernel over par.Pool with a shared atomic cell cursor.
+//
+// PR 7 made the kernel copy-free and vector-shaped (the paper's §III BG/Q
+// shaping, on x86 terms): production walks call Kernel.ApplyRanges with
+// ordered (start,end) spans over the SoA working arrays instead of
+// gathering neighbor coordinates (the mesh's z-contiguous CSR layout folds
+// the 27-cell stencil into ≤9 spans, see cellLoopRanges), and the inner
+// loop dispatches to a 4-lane SSE2 assembly kernel on amd64 (build tag
+// hacc_noasm opts out) or a bounds-check-free 4-wide tiled Go loop
+// elsewhere. The copy path (Apply) remains as the scalar oracle; see
+// DESIGN.md "Short-range kernel" for the equivalence model and measured
+// ns/interaction.
 package shortrange

@@ -1,0 +1,59 @@
+//go:build !hacc_noasm
+
+package shortrange
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFsrSpanSSEBitExact pins the assembly kernel's contract: every per-pair
+// term is bit-identical to the scalar FSR helpers, and the only freedom is
+// the documented per-span reduction (l0+l2)+(l1+l3) over lane partials with
+// lane L accumulating neighbors j≡L (mod 4). The expected value below is
+// built scalar-side with exactly that association, so any per-lane drift in
+// the assembly (FMA contraction, a different rsqrt estimate, reordered
+// Newton steps) fails bitwise.
+func TestFsrSpanSSEBitExact(t *testing.T) {
+	poly := [6]float64{0.2695, -0.0520, 0.0101, -1.25e-3, 8.6e-5, -2.45e-6}
+	k := NewKernel(poly, 3.0, 0.01, 0.1)
+	rng := rand.New(rand.NewSource(1234))
+	for _, n := range []int{4, 8, 64, 252} {
+		nx := make([]float32, n)
+		ny := make([]float32, n)
+		nz := make([]float32, n)
+		for j := range nx {
+			nx[j] = rng.Float32() * 9
+			ny[j] = rng.Float32() * 9
+			nz[j] = rng.Float32() * 9
+		}
+		xi, yi, zi := rng.Float32()*9, rng.Float32()*9, rng.Float32()*9
+
+		var lane [4][3]float32
+		for j := 0; j < n; j++ {
+			dx := nx[j] - xi
+			dy := ny[j] - yi
+			dz := nz[j] - zi
+			s := dx*dx + dy*dy + dz*dz
+			f := k.FSR(s)
+			l := j % 4
+			lane[l][0] += dx * f
+			lane[l][1] += dy * f
+			lane[l][2] += dz * f
+		}
+		var want [3]float32
+		for c := 0; c < 3; c++ {
+			want[c] = (lane[0][c] + lane[2][c]) + (lane[1][c] + lane[3][c])
+		}
+
+		sx, sy, sz := fsrSpanSSE(xi, yi, zi, &nx[0], &ny[0], &nz[0], int64(n), k.kc)
+		got := [3]float32{sx, sy, sz}
+		for c := 0; c < 3; c++ {
+			if math.Float32bits(got[c]) != math.Float32bits(want[c]) {
+				t.Fatalf("n=%d comp %d: asm %v (bits %08x), scalar lane model %v (bits %08x)",
+					n, c, got[c], math.Float32bits(got[c]), want[c], math.Float32bits(want[c]))
+			}
+		}
+	}
+}

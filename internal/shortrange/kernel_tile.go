@@ -1,0 +1,114 @@
+package shortrange
+
+// applyRangesTiled is the portable tiled range-walking kernel body, shaped
+// for the Go compiler the way the BG/Q kernel was shaped for QPX (§III):
+//
+//   - Targets are processed in fixed 4-wide SoA tiles with the tile's
+//     coordinates and accumulators held in locals, so each neighbor triple
+//     is loaded once and amortized over four interactions, and four
+//     independent rsqrt Newton chains are in flight per loop iteration
+//     (the batched estimate-and-refine the hardware rsqrt path needs to
+//     cover its latency).
+//   - The neighbor spans are resliced once per range with matching length
+//     hints (ny = ny[:len(nx)] etc.), which lets the compiler prove every
+//     inner-loop index in bounds and drop all bounds checks (verify with
+//     `go build -gcflags=-d=ssa/check_bce ./internal/shortrange/`).
+//   - The r_cut cutoff stays the branchless cutMask sign-mask select, so
+//     the inner loop has no data-dependent branches at all.
+//
+// The ≤3 remainder targets fall through to a scalar-target loop over the
+// same spans.
+func applyRangesTiled(k *Kernel, lx, ly, lz, px, py, pz []float32, ranges [][2]int32, ax, ay, az []float32) int64 {
+	rc2, eps, gm := k.rc2, k.eps, k.gm
+	c0, c1, c2, c3, c4, c5 := k.c[0], k.c[1], k.c[2], k.c[3], k.c[4], k.c[5]
+	nt := len(lx)
+	ly = ly[:nt]
+	lz = lz[:nt]
+	ax = ax[:nt]
+	ay = ay[:nt]
+	az = az[:nt]
+	var listLen int64
+	for _, r := range ranges {
+		listLen += int64(r[1] - r[0])
+	}
+	i := 0
+	for ; i+3 < nt; i += 4 {
+		xi0, yi0, zi0 := lx[i], ly[i], lz[i]
+		xi1, yi1, zi1 := lx[i+1], ly[i+1], lz[i+1]
+		xi2, yi2, zi2 := lx[i+2], ly[i+2], lz[i+2]
+		xi3, yi3, zi3 := lx[i+3], ly[i+3], lz[i+3]
+		var sx0, sy0, sz0, sx1, sy1, sz1 float32
+		var sx2, sy2, sz2, sx3, sy3, sz3 float32
+		for _, r := range ranges {
+			nx := px[r[0]:r[1]]
+			ny := py[r[0]:r[1]]
+			nz := pz[r[0]:r[1]]
+			ny = ny[:len(nx)]
+			nz = nz[:len(nx)]
+			for j := 0; j < len(nx); j++ {
+				xj, yj, zj := nx[j], ny[j], nz[j]
+				dx0, dy0, dz0 := xj-xi0, yj-yi0, zj-zi0
+				dx1, dy1, dz1 := xj-xi1, yj-yi1, zj-zi1
+				dx2, dy2, dz2 := xj-xi2, yj-yi2, zj-zi2
+				dx3, dy3, dz3 := xj-xi3, yj-yi3, zj-zi3
+				s0 := dx0*dx0 + dy0*dy0 + dz0*dz0
+				s1 := dx1*dx1 + dy1*dy1 + dz1*dz1
+				s2 := dx2*dx2 + dy2*dy2 + dz2*dz2
+				s3 := dx3*dx3 + dy3*dy3 + dz3*dz3
+				f0 := (rsqrt3(s0+eps) - poly5(s0, c0, c1, c2, c3, c4, c5)) * cutMask(s0, rc2)
+				f1 := (rsqrt3(s1+eps) - poly5(s1, c0, c1, c2, c3, c4, c5)) * cutMask(s1, rc2)
+				f2 := (rsqrt3(s2+eps) - poly5(s2, c0, c1, c2, c3, c4, c5)) * cutMask(s2, rc2)
+				f3 := (rsqrt3(s3+eps) - poly5(s3, c0, c1, c2, c3, c4, c5)) * cutMask(s3, rc2)
+				sx0 += dx0 * f0
+				sy0 += dy0 * f0
+				sz0 += dz0 * f0
+				sx1 += dx1 * f1
+				sy1 += dy1 * f1
+				sz1 += dz1 * f1
+				sx2 += dx2 * f2
+				sy2 += dy2 * f2
+				sz2 += dz2 * f2
+				sx3 += dx3 * f3
+				sy3 += dy3 * f3
+				sz3 += dz3 * f3
+			}
+		}
+		ax[i] += gm * sx0
+		ay[i] += gm * sy0
+		az[i] += gm * sz0
+		ax[i+1] += gm * sx1
+		ay[i+1] += gm * sy1
+		az[i+1] += gm * sz1
+		ax[i+2] += gm * sx2
+		ay[i+2] += gm * sy2
+		az[i+2] += gm * sz2
+		ax[i+3] += gm * sx3
+		ay[i+3] += gm * sy3
+		az[i+3] += gm * sz3
+	}
+	for ; i < nt; i++ {
+		xi, yi, zi := lx[i], ly[i], lz[i]
+		var sx, sy, sz float32
+		for _, r := range ranges {
+			nx := px[r[0]:r[1]]
+			ny := py[r[0]:r[1]]
+			nz := pz[r[0]:r[1]]
+			ny = ny[:len(nx)]
+			nz = nz[:len(nx)]
+			for j := 0; j < len(nx); j++ {
+				dx := nx[j] - xi
+				dy := ny[j] - yi
+				dz := nz[j] - zi
+				s := dx*dx + dy*dy + dz*dz
+				f := (rsqrt3(s+eps) - poly5(s, c0, c1, c2, c3, c4, c5)) * cutMask(s, rc2)
+				sx += dx * f
+				sy += dy * f
+				sz += dz * f
+			}
+		}
+		ax[i] += gm * sx
+		ay[i] += gm * sy
+		az[i] += gm * sz
+	}
+	return int64(nt) * listLen
+}

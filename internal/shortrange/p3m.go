@@ -137,10 +137,11 @@ func clampCell(c, n int) int {
 	return c
 }
 
-// gatherScratch is one worker's 27-cell neighbor-list buffers, persistent
-// across force evaluations.
+// gatherScratch is one worker's 27-cell neighbor-list buffers and range
+// list, persistent across force evaluations.
 type gatherScratch struct {
 	nbrX, nbrY, nbrZ []float32
+	ranges           [][2]int32
 }
 
 func (m *ChainingMesh) ensureWalk(k int) {
@@ -209,6 +210,68 @@ func (m *ChainingMesh) cellLoop(w int, kern func(lx, ly, lz, nx, ny, nz, ax, ay,
 	m.Interactions.Add(inter)
 }
 
+// cellLoopRanges is cellLoop without the gather: because the CSR layout
+// orders cells with z fastest, each (dx,dy) column of up to three z-cells
+// is one contiguous span of the sorted arrays, so the 27-cell neighbor
+// stencil collapses to at most 9 (start,end) spans — emitted in the same
+// (dx,dy,dz) order the copy path concatenates cells in, and coalesced
+// further when consecutive columns happen to touch in the CSR layout.
+func (m *ChainingMesh) cellLoopRanges(w int, kern RangeKernel) {
+	ws := &m.walk[w]
+	ranges := ws.ranges
+	ncell := m.dims[0] * m.dims[1] * m.dims[2]
+	var inter int64
+	for {
+		c := int(m.next.Add(1) - 1)
+		if c >= ncell {
+			break
+		}
+		s, e := m.starts[c], m.starts[c+1]
+		if s == e {
+			continue
+		}
+		cz := c % m.dims[2]
+		cy := (c / m.dims[2]) % m.dims[1]
+		cx := c / (m.dims[1] * m.dims[2])
+		zlo := cz - 1
+		if zlo < 0 {
+			zlo = 0
+		}
+		zhi := cz + 1
+		if zhi >= m.dims[2] {
+			zhi = m.dims[2] - 1
+		}
+		ranges = ranges[:0]
+		for dx := -1; dx <= 1; dx++ {
+			x := cx + dx
+			if x < 0 || x >= m.dims[0] {
+				continue
+			}
+			for dy := -1; dy <= 1; dy++ {
+				y := cy + dy
+				if y < 0 || y >= m.dims[1] {
+					continue
+				}
+				base := (x*m.dims[1] + y) * m.dims[2]
+				cs, ce := m.starts[base+zlo], m.starts[base+zhi+1]
+				if cs == ce {
+					continue
+				}
+				if k := len(ranges); k > 0 && ranges[k-1][1] == cs {
+					ranges[k-1][1] = ce
+				} else {
+					ranges = append(ranges, [2]int32{cs, ce})
+				}
+			}
+		}
+		inter += kern(m.X[s:e], m.Y[s:e], m.Z[s:e],
+			m.X, m.Y, m.Z, ranges,
+			m.AX[s:e], m.AY[s:e], m.AZ[s:e])
+	}
+	ws.ranges = ranges
+	m.Interactions.Add(inter)
+}
+
 // ComputeForces evaluates the short-range force cell by cell with `threads`
 // goroutines; each cell's particles share the 27-cell interaction list.
 func (m *ChainingMesh) ComputeForces(kern func(lx, ly, lz, nx, ny, nz, ax, ay, az []float32) int64, threads int) {
@@ -238,6 +301,38 @@ func (m *ChainingMesh) ComputeForcesPool(kern func(lx, ly, lz, nx, ny, nz, ax, a
 	m.prepForces()
 	m.ensureWalk(pool.Workers())
 	pool.Run(0, func(w int) { m.cellLoop(w, kern) })
+}
+
+// ComputeForcesRanges is ComputeForces on the copy-free range walk (see
+// cellLoopRanges). The production force path; the copy path remains as the
+// equivalence oracle.
+func (m *ChainingMesh) ComputeForcesRanges(kern RangeKernel, threads int) {
+	m.prepForces()
+	if threads < 1 {
+		threads = 1
+	}
+	m.ensureWalk(threads)
+	if threads == 1 {
+		m.cellLoopRanges(0, kern)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m.cellLoopRanges(w, kern)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ComputeForcesPoolRanges is ComputeForcesRanges dispatched on a persistent
+// worker pool: the zero-allocation sub-cycling configuration.
+func (m *ChainingMesh) ComputeForcesPoolRanges(kern RangeKernel, pool *par.Pool) {
+	m.prepForces()
+	m.ensureWalk(pool.Workers())
+	pool.Run(0, func(w int) { m.cellLoopRanges(w, kern) })
 }
 
 // AccelInto scatters accelerations back to the caller's particle order.

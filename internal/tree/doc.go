@@ -16,4 +16,13 @@
 // place (retaining coordinate copies, accumulators, the node pool, the
 // leaf cache, and per-worker walk scratch) and ComputeForcesPool walks
 // leaves over par.Pool with a shared atomic cursor.
+//
+// PR 7 made the walk copy-free: ComputeForcesRanges (and the Pool/Forest
+// variants) hands the kernel ordered (start,end) spans over the tree's
+// leaf-contiguous SoA arrays instead of gathering neighbor coordinates.
+// Leaves are visited in ascending index order so adjacent spans coalesce,
+// and a subtree entirely inside the search box is emitted as one span
+// without descending — both invisible to the kernel, because span order
+// equals the copy walk's concatenation order (the bitwise oracle
+// TestRangeWalkMatchesCopyWalk). The copy walk remains for that oracle.
 package tree

@@ -184,6 +184,25 @@ func (f *Forest) ComputeForces(kern LeafKernel, rcut float64, threads int) {
 	wg.Wait()
 }
 
+// ComputeForcesRanges evaluates every sub-tree on the copy-free range walk
+// (see Tree.ComputeForcesRanges); threads are split across trees and within
+// them.
+func (f *Forest) ComputeForcesRanges(kern RangeLeafKernel, rcut float64, threads int) {
+	perTree := threads / len(f.Trees)
+	if perTree < 1 {
+		perTree = 1
+	}
+	var wg sync.WaitGroup
+	for t := range f.Trees {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			f.Trees[t].ComputeForcesRanges(kern, rcut, perTree)
+		}(t)
+	}
+	wg.Wait()
+}
+
 // AccelInto scatters the accelerations of owned particles back to the
 // caller's order; halo-copy results are discarded.
 func (f *Forest) AccelInto(ax, ay, az []float32) {

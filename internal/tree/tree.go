@@ -12,6 +12,12 @@ import (
 // returning the number of pair interactions evaluated.
 type LeafKernel func(lx, ly, lz, nx, ny, nz, ax, ay, az []float32) int64
 
+// RangeLeafKernel is the copy-free kernel signature (PR 7): instead of a
+// gathered neighbor list it receives the tree's full leaf-contiguous SoA
+// coordinate arrays plus the leaf's neighbor set as ordered (start,end)
+// spans over them. Satisfied by shortrange.Kernel.ApplyRanges.
+type RangeLeafKernel func(lx, ly, lz, px, py, pz []float32, ranges [][2]int32, ax, ay, az []float32) int64
+
 // node is one RCB tree node; leaves have left == -1.
 type node struct {
 	lo, hi      [3]float32
@@ -194,30 +200,40 @@ func (t *Tree) partition(start, end int32, dim int, pivot float32) int32 {
 // Leaves returns the number of leaf nodes.
 func (t *Tree) Leaves() int { return t.LeafCount }
 
-// Depth returns the maximum node depth (root = 1).
+// Depth returns the maximum node depth (root = 1). Iterative with an
+// explicit (node, depth) stack: degenerate particle distributions can make
+// the RCB tree deep enough that a recursive traversal risks goroutine
+// stack growth right in the middle of the force step.
 func (t *Tree) Depth() int {
 	if len(t.nodes) == 0 {
 		return 0
 	}
-	var rec func(n int32) int
-	rec = func(n int32) int {
-		nd := &t.nodes[n]
-		if nd.left < 0 {
-			return 1
-		}
-		l, r := rec(nd.left), rec(nd.right)
-		if l > r {
-			return l + 1
-		}
-		return r + 1
+	type item struct {
+		n int32
+		d int32
 	}
-	return rec(0)
+	stack := []item{{0, 1}}
+	max := int32(0)
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &t.nodes[it.n]
+		if nd.left < 0 {
+			if it.d > max {
+				max = it.d
+			}
+			continue
+		}
+		stack = append(stack, item{nd.left, it.d + 1}, item{nd.right, it.d + 1})
+	}
+	return int(max)
 }
 
-// walkScratch is one worker's neighbor-gather buffers and walk stack,
-// persistent across force evaluations.
+// walkScratch is one worker's neighbor-gather buffers, range list, and walk
+// stack, persistent across force evaluations.
 type walkScratch struct {
 	nbrX, nbrY, nbrZ []float32
+	ranges           [][2]int32
 	stack            []int32
 }
 
@@ -276,7 +292,11 @@ func (t *Tree) leafLoop(w int, kern LeafKernel, rc float32) {
 				nbrZ = append(nbrZ, t.Z[nd.start:nd.end]...)
 				continue
 			}
-			stack = append(stack, nd.left, nd.right)
+			// Right below left so the left child pops first: leaves are
+			// visited in ascending particle-index order, the same order
+			// leafLoopRanges emits spans in — keeping the two walks
+			// bitwise-comparable (TestRangeWalkMatchesCopyWalk).
+			stack = append(stack, nd.right, nd.left)
 		}
 		nbrSum += int64(len(nbrX))
 		s, e := leaf.start, leaf.end
@@ -285,6 +305,71 @@ func (t *Tree) leafLoop(w int, kern LeafKernel, rc float32) {
 			t.AX[s:e], t.AY[s:e], t.AZ[s:e])
 	}
 	ws.nbrX, ws.nbrY, ws.nbrZ = nbrX, nbrY, nbrZ
+	ws.stack = stack
+	t.Interactions.Add(inter)
+	t.NodesVisited.Add(visited)
+	t.NeighborCount.Add(nbrSum)
+}
+
+// leafLoopRanges is leafLoop without the gather: the walk names each leaf's
+// neighbor set as ordered (start,end) spans over the tree's leaf-contiguous
+// SoA arrays instead of copying O(neighbors) coordinates into scratch.
+// Because leaves pop in ascending index order, spans from adjacent leaves
+// coalesce (the common case: siblings pruned together), and a subtree whose
+// box lies entirely inside the search box is emitted as one span without
+// descending — its particle range [start,end) is contiguous by RCB
+// construction, and the span order equals the copy walk's leaf-by-leaf
+// concatenation order, so both short-cuts are invisible to the kernel.
+func (t *Tree) leafLoopRanges(w int, kern RangeLeafKernel, rc float32) {
+	ws := &t.walk[w]
+	ranges := ws.ranges
+	stack := ws.stack
+	var inter, visited, nbrSum int64
+	for {
+		li := t.next.Add(1) - 1
+		if li >= int64(len(t.leaves)) {
+			break
+		}
+		leaf := &t.nodes[t.leaves[li]]
+		// Expanded search box.
+		var lo, hi [3]float32
+		for d := 0; d < 3; d++ {
+			lo[d] = leaf.lo[d] - rc
+			hi[d] = leaf.hi[d] + rc
+		}
+		ranges = ranges[:0]
+		stack = append(stack[:0], 0)
+		for len(stack) > 0 {
+			ni := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nd := &t.nodes[ni]
+			visited++
+			if nd.lo[0] > hi[0] || nd.hi[0] < lo[0] ||
+				nd.lo[1] > hi[1] || nd.hi[1] < lo[1] ||
+				nd.lo[2] > hi[2] || nd.hi[2] < lo[2] {
+				continue
+			}
+			if nd.left < 0 ||
+				(nd.lo[0] >= lo[0] && nd.hi[0] <= hi[0] &&
+					nd.lo[1] >= lo[1] && nd.hi[1] <= hi[1] &&
+					nd.lo[2] >= lo[2] && nd.hi[2] <= hi[2]) {
+				// Leaf, or interior node fully inside the search box.
+				if k := len(ranges); k > 0 && ranges[k-1][1] == nd.start {
+					ranges[k-1][1] = nd.end
+				} else {
+					ranges = append(ranges, [2]int32{nd.start, nd.end})
+				}
+				nbrSum += int64(nd.end - nd.start)
+				continue
+			}
+			stack = append(stack, nd.right, nd.left)
+		}
+		s, e := leaf.start, leaf.end
+		inter += kern(t.X[s:e], t.Y[s:e], t.Z[s:e],
+			t.X, t.Y, t.Z, ranges,
+			t.AX[s:e], t.AY[s:e], t.AZ[s:e])
+	}
+	ws.ranges = ranges
 	ws.stack = stack
 	t.Interactions.Add(inter)
 	t.NodesVisited.Add(visited)
@@ -331,6 +416,47 @@ func (t *Tree) ComputeForcesPool(kern LeafKernel, rcut float64, pool *par.Pool) 
 	t.ensureWalk(pool.Workers())
 	rc := float32(rcut)
 	pool.Run(0, func(w int) { t.leafLoop(w, kern, rc) })
+}
+
+// ComputeForcesRanges is ComputeForces on the copy-free range walk: the
+// kernel receives (start,end) spans over the tree's SoA arrays instead of a
+// gathered neighbor copy. The production force path; ComputeForces with a
+// copy kernel remains as the equivalence oracle.
+func (t *Tree) ComputeForcesRanges(kern RangeLeafKernel, rcut float64, threads int) {
+	t.prepForces()
+	if len(t.nodes) == 0 {
+		return
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	t.ensureWalk(threads)
+	rc := float32(rcut)
+	if threads == 1 {
+		t.leafLoopRanges(0, kern, rc)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t.leafLoopRanges(w, kern, rc)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ComputeForcesPoolRanges is ComputeForcesRanges dispatched on a persistent
+// worker pool: the zero-allocation sub-cycling configuration.
+func (t *Tree) ComputeForcesPoolRanges(kern RangeLeafKernel, rcut float64, pool *par.Pool) {
+	t.prepForces()
+	if len(t.nodes) == 0 {
+		return
+	}
+	t.ensureWalk(pool.Workers())
+	rc := float32(rcut)
+	pool.Run(0, func(w int) { t.leafLoopRanges(w, kern, rc) })
 }
 
 // AccelInto scatters the computed accelerations back to the caller's
