@@ -22,6 +22,14 @@
 //
 //	haccsim -np 32 -steps 8 -ckpt-dir ckpt -ckpt-every 2 \
 //	        -max-restarts 3 -fault "kill rank 2 at step 5"
+//
+// Late-time load balancing: -rebalance arms cost-driven domain rebalancing
+// (slab cuts follow the measured work distribution), -steal turns on
+// bitwise-neutral intra-rank leaf stealing, and -ic halo generates the
+// deliberately clustered stress workload:
+//
+//	haccsim -ranks 8 -np 24 -box 192 -zinit 3 -zfinal 1 -steps 6 \
+//	        -ic halo -rebalance 1.1 -steal
 package main
 
 import (
@@ -43,7 +51,8 @@ import (
 var physicsFlags = map[string]bool{
 	"np": true, "ng": true, "box": true, "zinit": true, "zfinal": true,
 	"steps": true, "nc": true, "seed": true, "solver": true,
-	"transfer": true, "fixed": true,
+	"transfer": true, "fixed": true, "ic": true,
+	"rebalance": true, "rebalance-min-steps": true,
 }
 
 func main() {
@@ -72,6 +81,10 @@ func main() {
 		opTimeout   = flag.Duration("op-timeout", 0, "hang detection: per-operation timeout under -max-restarts (0 = off)")
 		deadline    = flag.Duration("deadline", 0, "wall-clock bound per supervised attempt (0 = none)")
 		faultSpec   = flag.String("fault", "", `arm the fault injector, e.g. "kill rank 2 at step 3; fail every 5th fsync"`)
+		icKind      = flag.String("ic", "zeldovich", "initial conditions: zeldovich|halo (clustered load-balancing stress)")
+		rebalance   = flag.Float64("rebalance", 0, "cost-driven rebalancing: smoothed max/mean work threshold > 1 (0 = static decomposition)")
+		rebMinSteps = flag.Int("rebalance-min-steps", 0, "minimum steps between rebalances (default 2)")
+		steal       = flag.Bool("steal", false, "deque-based intra-rank leaf stealing for tree walks (bitwise-neutral)")
 	)
 	flag.Parse()
 	if err := validateFlags(*ranks, *np, *ng, *box, *zInit, *zFinal, *steps, *nc,
@@ -129,12 +142,17 @@ func main() {
 			ZInit: *zInit, ZFinal: *zFinal, Steps: *steps, SubCycles: *nc,
 			Seed: *seed, FixedAmp: *fixed, Solver: kind, Threads: *threads,
 			CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
+			ICKind: *icKind, StealWalks: *steal,
+			RebalanceThreshold: *rebalance, RebalanceMinSteps: *rebMinSteps,
 		}
 	}
 	mutate := func(c *core.Config) {
 		// Only explicitly-set neutral knobs override the checkpoint.
 		if explicit["threads"] {
 			c.Threads = *threads
+		}
+		if explicit["steal"] {
+			c.StealWalks = *steal
 		}
 		if explicit["ckpt-dir"] || explicit["ckpt-every"] {
 			c.CheckpointDir = *ckptDir
@@ -240,6 +258,10 @@ func drive(s *core.Simulation, ranks, pkBins int, snapPath string, start time.Ti
 		if gc.Restarts > 0 || gc.CkptRetries > 0 || gc.CkptQuarantined > 0 {
 			fmt.Printf("resilience: %d restarts, %d checkpoint retries, %d quarantined\n",
 				gc.Restarts, gc.CkptRetries, gc.CkptQuarantined)
+		}
+		if gc.Rebalances > 0 || gc.StolenLeaves > 0 {
+			fmt.Printf("balance: %d rebalances, %d stolen leaves, final max/mean %.2f\n",
+				gc.Rebalances, gc.StolenLeaves, s.Imbalance())
 		}
 		for _, p := range s.Timers.Fractions() {
 			fmt.Printf("  %-10s %5.1f%%\n", p.Name, 100*p.Fraction)

@@ -1,0 +1,198 @@
+package balance
+
+import (
+	"hacc/internal/mpi"
+)
+
+// CostModel tracks EWMA-smoothed per-rank step costs. Update is collective:
+// every rank contributes its own cost and receives everyone's, so the model
+// state — and any decision derived from it — is identical on all ranks.
+type CostModel struct {
+	alpha float64
+	ewma  []float64
+	warm  bool
+}
+
+// NewCostModel creates a model for `ranks` ranks with EWMA coefficient
+// alpha in (0,1]: the weight of the newest step (1 = no smoothing).
+func NewCostModel(alpha float64, ranks int) *CostModel {
+	if alpha <= 0 || alpha > 1 {
+		panic("balance: EWMA alpha must be in (0,1]")
+	}
+	return &CostModel{alpha: alpha, ewma: make([]float64, ranks)}
+}
+
+// Update AllGathers each rank's cost for the step just finished and folds
+// the vector into the running average. Collective.
+func (m *CostModel) Update(c *mpi.Comm, myCost float64) {
+	all := mpi.AllGather(c, []float64{myCost})
+	if !m.warm {
+		copy(m.ewma, all)
+		m.warm = true
+		return
+	}
+	for r := range m.ewma {
+		m.ewma[r] += m.alpha * (all[r] - m.ewma[r])
+	}
+}
+
+// Reset forgets the accumulated average; the next Update starts fresh.
+// Called after a rebalance so the old geometry's imbalance does not bleed
+// into decisions about the new one.
+func (m *CostModel) Reset() {
+	m.warm = false
+	for r := range m.ewma {
+		m.ewma[r] = 0
+	}
+}
+
+// Costs returns the smoothed per-rank cost vector (read-only).
+func (m *CostModel) Costs() []float64 { return m.ewma }
+
+// Warm reports whether at least one Update has been folded in.
+func (m *CostModel) Warm() bool { return m.warm }
+
+// Imbalance returns the max/mean ratio of the smoothed costs: 1 is perfect
+// balance. A cold or zero-cost model reports 1 (nothing to balance).
+func (m *CostModel) Imbalance() float64 {
+	if !m.warm || len(m.ewma) == 0 {
+		return 1
+	}
+	var max, sum float64
+	for _, v := range m.ewma {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return 1
+	}
+	return max / (sum / float64(len(m.ewma)))
+}
+
+// EqualCostCuts partitions [0,n) grid cells into `parts` intervals of
+// near-equal cost given a per-cell cost histogram: cut j is placed at the
+// smallest prefix holding j/parts of the total cost, then clamped so every
+// interval keeps at least minWidth cells (the overload shell plus deposit
+// ghost must fit inside a slab). A zero-cost histogram yields near-uniform
+// cuts. Returns nil when the constraints are unsatisfiable
+// (parts*minWidth > n). The result is a valid cut array for
+// grid.NewDecompCuts: parts+1 ascending values from 0 to n.
+func EqualCostCuts(hist []float64, parts, minWidth int) []int {
+	n := len(hist)
+	if minWidth < 1 {
+		minWidth = 1
+	}
+	if parts < 1 || parts*minWidth > n {
+		return nil
+	}
+	prefix := make([]float64, n+1)
+	for i, v := range hist {
+		if v < 0 {
+			v = 0
+		}
+		prefix[i+1] = prefix[i] + v
+	}
+	total := prefix[n]
+	cuts := make([]int, parts+1)
+	cuts[parts] = n
+	for j := 1; j < parts; j++ {
+		var c int
+		if total > 0 {
+			want := total * float64(j) / float64(parts)
+			// Smallest c with prefix[c] >= want.
+			lo, hi := 0, n
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if prefix[mid] < want {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			c = lo
+		} else {
+			c = j * n / parts
+		}
+		// Width clamps: at least minWidth cells after the previous cut and
+		// enough room for the remaining parts.
+		if min := cuts[j-1] + minWidth; c < min {
+			c = min
+		}
+		if max := n - (parts-j)*minWidth; c > max {
+			c = max
+		}
+		cuts[j] = c
+	}
+	return cuts
+}
+
+// Options configures the trigger policy.
+type Options struct {
+	// Alpha is the EWMA coefficient for the cost model (default 0.5).
+	Alpha float64
+	// Threshold is the smoothed max/mean imbalance above which a rebalance
+	// is requested; values ≤ 1 would fire permanently and are rejected.
+	Threshold float64
+	// MinSteps is the minimum number of steps between rebalances (≥ 1).
+	MinSteps int
+}
+
+// Balancer combines the cost model with the trigger policy. All methods
+// must be called identically on every rank (Observe is collective); the
+// decision sequence is then identical everywhere by construction.
+type Balancer struct {
+	opts     Options
+	model    *CostModel
+	lastFire int
+	fired    bool
+}
+
+// New creates a balancer for `ranks` ranks.
+func New(opts Options, ranks int) *Balancer {
+	if opts.Alpha == 0 {
+		opts.Alpha = 0.5
+	}
+	if opts.Threshold <= 1 {
+		panic("balance: threshold must exceed 1")
+	}
+	if opts.MinSteps < 1 {
+		opts.MinSteps = 1
+	}
+	return &Balancer{opts: opts, model: NewCostModel(opts.Alpha, ranks)}
+}
+
+// Observe folds the cost of the step that just ran into the model.
+// Collective.
+func (b *Balancer) Observe(c *mpi.Comm, myCost float64) {
+	b.model.Update(c, myCost)
+}
+
+// Imbalance returns the current smoothed max/mean cost ratio.
+func (b *Balancer) Imbalance() float64 { return b.model.Imbalance() }
+
+// Costs exposes the smoothed per-rank cost vector (read-only), the input
+// for apportioning per-particle weights into the cut histograms.
+func (b *Balancer) Costs() []float64 { return b.model.Costs() }
+
+// ShouldRebalance reports whether a rebalance is due at the given step:
+// the smoothed imbalance exceeds the threshold and at least MinSteps have
+// elapsed since the last fire.
+func (b *Balancer) ShouldRebalance(step int) bool {
+	if !b.model.Warm() {
+		return false
+	}
+	if b.fired && step-b.lastFire < b.opts.MinSteps {
+		return false
+	}
+	return b.model.Imbalance() > b.opts.Threshold
+}
+
+// Fired records that a rebalance happened at `step` and resets the cost
+// average, so the next decision is based purely on the new geometry.
+func (b *Balancer) Fired(step int) {
+	b.lastFire = step
+	b.fired = true
+	b.model.Reset()
+}

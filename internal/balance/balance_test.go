@@ -1,0 +1,177 @@
+package balance
+
+import (
+	"math"
+	"testing"
+
+	"hacc/internal/mpi"
+)
+
+func TestCostModelEWMA(t *testing.T) {
+	mpi.Run(4, func(c *mpi.Comm) {
+		m := NewCostModel(0.5, c.Size())
+		// First update seeds the average directly.
+		m.Update(c, float64(c.Rank()+1))
+		for r, v := range m.Costs() {
+			if v != float64(r+1) {
+				t.Errorf("after warmup rank %d cost %g, want %d", r, v, r+1)
+			}
+		}
+		// Second update moves halfway toward the new vector.
+		m.Update(c, float64(2*(c.Rank()+1)))
+		for r, v := range m.Costs() {
+			want := float64(r+1) + 0.5*float64(r+1)
+			if math.Abs(v-want) > 1e-12 {
+				t.Errorf("after EWMA rank %d cost %g, want %g", r, v, want)
+			}
+		}
+		// max/mean of (1.5,3,4.5,6) = 6/3.75.
+		if got, want := m.Imbalance(), 6.0/3.75; math.Abs(got-want) > 1e-12 {
+			t.Errorf("imbalance %g, want %g", got, want)
+		}
+		m.Reset()
+		if m.Warm() || m.Imbalance() != 1 {
+			t.Error("reset model should be cold with imbalance 1")
+		}
+	})
+}
+
+func TestCostModelUniformImbalance(t *testing.T) {
+	mpi.Run(3, func(c *mpi.Comm) {
+		m := NewCostModel(1, c.Size())
+		m.Update(c, 7)
+		if got := m.Imbalance(); got != 1 {
+			t.Errorf("uniform cost imbalance %g, want 1", got)
+		}
+	})
+}
+
+func TestEqualCostCutsUniform(t *testing.T) {
+	hist := make([]float64, 32)
+	for i := range hist {
+		hist[i] = 1
+	}
+	cuts := EqualCostCuts(hist, 4, 2)
+	want := []int{0, 8, 16, 24, 32}
+	for i := range want {
+		if cuts[i] != want[i] {
+			t.Fatalf("uniform cuts %v, want %v", cuts, want)
+		}
+	}
+	// Zero cost falls back to near-uniform chunks.
+	zero := EqualCostCuts(make([]float64, 30), 4, 2)
+	if zero[0] != 0 || zero[4] != 30 {
+		t.Fatalf("zero-cost cuts %v must span [0,30]", zero)
+	}
+	for j := 0; j < 4; j++ {
+		if zero[j+1]-zero[j] < 2 {
+			t.Fatalf("zero-cost cuts %v violate min width", zero)
+		}
+	}
+}
+
+func TestEqualCostCutsSkewed(t *testing.T) {
+	// All the cost in cells [0,4): the first interval should shrink to the
+	// minimum width and the skew should split at the cost boundary.
+	hist := make([]float64, 32)
+	for i := 0; i < 4; i++ {
+		hist[i] = 100
+	}
+	cuts := EqualCostCuts(hist, 2, 3)
+	if len(cuts) != 3 || cuts[0] != 0 || cuts[2] != 32 {
+		t.Fatalf("cuts %v malformed", cuts)
+	}
+	if cuts[1] < 1 || cuts[1] > 4 {
+		t.Fatalf("cut %v did not move toward the hot cells", cuts)
+	}
+	if cuts[1] < 3 {
+		t.Fatalf("cuts %v violate min width 3", cuts)
+	}
+
+	// Equal-cost property on a smooth ramp: each interval's cost within a
+	// cell of ideal.
+	ramp := make([]float64, 64)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	cuts = EqualCostCuts(ramp, 4, 2)
+	var tot float64
+	for _, v := range ramp {
+		tot += v
+	}
+	for j := 0; j < 4; j++ {
+		var s float64
+		for i := cuts[j]; i < cuts[j+1]; i++ {
+			s += ramp[i]
+		}
+		if s < tot/4-64 || s > tot/4+64 {
+			t.Fatalf("interval %d of %v holds cost %g, ideal %g", j, cuts, s, tot/4)
+		}
+	}
+}
+
+func TestEqualCostCutsMinWidthSqueeze(t *testing.T) {
+	// Cost piled at the far end: earlier cuts must still leave minWidth
+	// room for every interval.
+	hist := make([]float64, 16)
+	hist[15] = 1
+	cuts := EqualCostCuts(hist, 4, 4)
+	want := []int{0, 4, 8, 12, 16}
+	for i := range want {
+		if cuts[i] != want[i] {
+			t.Fatalf("squeezed cuts %v, want %v", cuts, want)
+		}
+	}
+	// Unsatisfiable constraints refuse rather than produce invalid cuts.
+	if got := EqualCostCuts(hist, 5, 4); got != nil {
+		t.Fatalf("infeasible partition returned %v, want nil", got)
+	}
+}
+
+func TestBalancerTrigger(t *testing.T) {
+	mpi.Run(2, func(c *mpi.Comm) {
+		b := New(Options{Alpha: 1, Threshold: 1.5, MinSteps: 3}, c.Size())
+		if b.ShouldRebalance(0) {
+			t.Error("cold balancer must not fire")
+		}
+		// Balanced step: no trigger.
+		b.Observe(c, 10)
+		if b.ShouldRebalance(1) {
+			t.Error("balanced cost fired")
+		}
+		// Rank 0 is 3× rank 1: max/mean = 1.5 is not > threshold... use 4×.
+		cost := 10.0
+		if c.Rank() == 0 {
+			cost = 40
+		}
+		b.Observe(c, cost)
+		if got := b.Imbalance(); math.Abs(got-40/25.0) > 1e-12 {
+			t.Errorf("imbalance %g, want 1.6", got)
+		}
+		if !b.ShouldRebalance(2) {
+			t.Fatal("imbalance 1.6 > 1.5 must fire")
+		}
+		b.Fired(2)
+		// Immediately after firing: model reset and MinSteps guard both hold.
+		b.Observe(c, cost)
+		if b.ShouldRebalance(3) || b.ShouldRebalance(4) {
+			t.Error("fired within MinSteps of the last rebalance")
+		}
+		if !b.ShouldRebalance(5) {
+			t.Error("persistent imbalance must re-fire after MinSteps")
+		}
+	})
+}
+
+func TestBalancerValidation(t *testing.T) {
+	for _, bad := range []Options{{Threshold: 0}, {Threshold: 1}, {Threshold: 0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("threshold %g: expected panic", bad.Threshold)
+				}
+			}()
+			New(bad, 4)
+		}()
+	}
+}

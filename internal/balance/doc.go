@@ -1,0 +1,32 @@
+// Package balance is the closed-loop load balancer for the late-time
+// clustered universe (ROADMAP item 2; arXiv:1410.2805 §short-range,
+// arXiv:1411.3396). Gravitational clustering makes per-rank short-range
+// cost diverge by orders of magnitude at low redshift, so a fixed uniform
+// decomposition leaves most ranks idle waiting on the densest one.
+//
+// The package has three pieces, all deterministic so that every rank takes
+// the same decision from the same collective data:
+//
+//   - CostModel: per-rank step costs (kernel interactions + walk node
+//     visits — counted work, not wall-clock, so decisions are reproducible)
+//     AllGathered each step and smoothed with an EWMA, giving a live
+//     max/mean imbalance estimate that one noisy step cannot whipsaw.
+//
+//   - EqualCostCuts: an equal-cost prefix partition of a per-cell cost
+//     histogram along one axis, with a minimum interval width so the
+//     overload shell and ghost exchange stay valid. Feeding it the
+//     AllReduce-summed histograms of the current particle costs yields new
+//     slab boundaries for grid.NewDecompCuts.
+//
+//   - Balancer: the trigger policy — fire when the smoothed imbalance
+//     crosses a threshold, but not within MinSteps of the previous
+//     rebalance, and restart the cost average afterwards so the old
+//     geometry's imbalance cannot immediately re-trigger (hysteresis).
+//
+// The mechanics of a rebalance live in core: build a new Decomp/Domain for
+// the cut geometry, MigrateDense the particles (arbitrary-distance moves),
+// rebuild the built-once-per-geometry exchange plans, continue. The uniform
+// decomposition remains the bitwise oracle: with the balancer disabled the
+// step loop is unchanged, and a rebalance itself is lossless on global
+// ID-sorted particle state.
+package balance

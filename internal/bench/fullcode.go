@@ -34,6 +34,22 @@ type FullResult struct {
 	OverloadFrac float64
 	CommPostSec  float64 // pack+post share of communication (overlappable)
 	CommWaitSec  float64 // exposed blocking wait share
+
+	// Per-rank step-time imbalance: max/mean/min across ranks of each
+	// rank's busy time (wall minus exposed comm wait — a starved rank shows
+	// up as low busy time, not high wait). Max/Mean is the load-imbalance
+	// factor the balancer drives toward 1.
+	BusyMaxSec  float64
+	BusyMeanSec float64
+	BusyMinSec  float64
+	// Balancer and stealing diagnostics (global counters).
+	Rebalances   int64
+	StolenLeaves int64
+	// WorkImbalance is max/mean across ranks of the deterministic per-rank
+	// short-range work (kernel interactions + tree-walk node visits) — the
+	// machine-noise-free view of the same imbalance BusyMaxSec/BusyMeanSec
+	// measures in wall-clock.
+	WorkImbalance float64
 }
 
 // FullOptions configures a full-code scaling point.
@@ -98,6 +114,8 @@ func runFullCfg(o FullOptions, cfg core.Config) (FullResult, error) {
 		}
 		mpi.Barrier(c)
 		wall := time.Since(start).Seconds()
+		busy := mpi.AllGather(c, []float64{s.Timers.Busy().Seconds()})
+		work := mpi.AllGather(c, []float64{float64(s.Counters.KernelInteractions + s.Counters.WalkNodes)})
 		mem := mpi.AllReduce(c, []float64{s.MemoryMB()}, mpi.MaxF64)
 		ovf := mpi.AllReduce(c, []float64{s.Dom.OverloadFraction()}, mpi.MaxF64)
 		gc := s.GlobalCounters()
@@ -122,6 +140,23 @@ func runFullCfg(o FullOptions, cfg core.Config) (FullResult, error) {
 		post, waitT := s.Timers.CommSplit()
 		res.CommPostSec = post.Seconds()
 		res.CommWaitSec = waitT.Seconds()
+		res.BusyMaxSec, res.BusyMinSec = busy[0], busy[0]
+		for _, b := range busy {
+			res.BusyMaxSec = math.Max(res.BusyMaxSec, b)
+			res.BusyMinSec = math.Min(res.BusyMinSec, b)
+			res.BusyMeanSec += b
+		}
+		res.BusyMeanSec /= float64(len(busy))
+		res.Rebalances = gc.Rebalances
+		res.StolenLeaves = gc.StolenLeaves
+		var wmax, wsum float64
+		for _, v := range work {
+			wmax = math.Max(wmax, v)
+			wsum += v
+		}
+		if wsum > 0 {
+			res.WorkImbalance = wmax / (wsum / float64(len(work)))
+		}
 	})
 	return res, err
 }
@@ -156,6 +191,11 @@ func PrintPhaseSplit(w io.Writer, r FullResult) {
 	if tot := r.CommPostSec + r.CommWaitSec; tot > 0 {
 		fmt.Fprintf(w, "comm split: %.3fs pack+post vs %.3fs exposed wait (%.0f%% of comm time is exposed wait; overlap shrinks only the wait share)\n",
 			r.CommPostSec, r.CommWaitSec, 100*r.CommWaitSec/tot)
+	}
+	if r.BusyMeanSec > 0 {
+		fmt.Fprintf(w, "rank busy max/mean/min: %.3fs / %.3fs / %.3fs  (imbalance %.2f; rebalances %d, stolen leaves %d)\n",
+			r.BusyMaxSec, r.BusyMeanSec, r.BusyMinSec, r.BusyMaxSec/r.BusyMeanSec,
+			r.Rebalances, r.StolenLeaves)
 	}
 }
 

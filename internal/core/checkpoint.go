@@ -11,6 +11,7 @@ import (
 
 	"hacc/internal/domain"
 	"hacc/internal/gio"
+	"hacc/internal/grid"
 	"hacc/internal/machine"
 	"hacc/internal/mpi"
 	"hacc/internal/snapshot"
@@ -26,10 +27,12 @@ const (
 )
 
 // ckptFormatVersion versions the checkpoint meta blob independently of the
-// container layout underneath it. The value is a tag ("HCP1"), not a small
+// container layout underneath it. The value is a tag ("HCP2"), not a small
 // integer, so a snapshot-product container handed to Restore by mistake is
-// identified as such instead of being misparsed.
-const ckptFormatVersion = 0x48435031
+// identified as such instead of being misparsed. HCP2 extends HCP1's bare
+// config trailer to a trailer struct that also records the decomposition
+// cut arrays, so rebalanced (non-uniform) geometries survive a restart.
+const ckptFormatVersion = 0x48435032
 
 // ckptCounterWords is the per-rank counter block stored in the state
 // container: the machine counters plus the domain's migration count.
@@ -51,15 +54,26 @@ type ckptMeta struct {
 	NGlobal      int64
 }
 
+// ckptTrailer is the JSON payload after the fixed meta words in the state
+// container: the full config plus the decomposition cut arrays, so a restart
+// needs no flags beyond the checkpoint path and resumes under the exact
+// geometry the checkpoint was taken in (a rebalanced run is mid-flight in a
+// non-uniform decomposition).
+type ckptTrailer struct {
+	Cfg  Config
+	Cuts [3][]int
+}
+
 // ckptState is the persistent checkpoint machinery of one rank: the
-// collective container writer with its scratch, the immutable config JSON
-// and fingerprint, and reusable buffers for meta blobs, column
-// declarations, and counter/origin tables — so a warm Checkpoint allocates
-// nothing beyond file descriptors and the writer's collective index
-// exchange.
+// collective container writer with its scratch, the trailer JSON (config +
+// geometry, rebuilt only when a rebalance changes the decomposition) and
+// fingerprint, and reusable buffers for meta blobs, column declarations,
+// and counter/origin tables — so a warm Checkpoint allocates nothing beyond
+// file descriptors and the writer's collective index exchange.
 type ckptState struct {
 	w       *gio.Writer
-	cfgJSON []byte
+	dec     *grid.Decomp // geometry the cached trailer was built for
+	trailer []byte
 	fp      uint64
 	meta    []byte
 	vars    []gio.Var
@@ -68,18 +82,23 @@ type ckptState struct {
 	on      []int64
 }
 
-// ensureCkpt builds the persistent checkpoint state on first use.
+// ensureCkpt builds the persistent checkpoint state on first use and
+// refreshes the cached trailer whenever the decomposition has changed.
 func (s *Simulation) ensureCkpt() *ckptState {
 	if s.ckpt == nil {
-		js, err := json.Marshal(s.Cfg)
-		if err != nil {
-			// Config is a plain struct of scalars and strings; a marshal
-			// failure is a programming error, not a runtime condition.
-			panic(fmt.Sprintf("core: config marshal: %v", err))
-		}
-		s.ckpt = &ckptState{w: gio.NewWriter(s.Comm), cfgJSON: js, fp: s.Cfg.Fingerprint()}
+		s.ckpt = &ckptState{w: gio.NewWriter(s.Comm), fp: s.Cfg.Fingerprint()}
 	}
-	return s.ckpt
+	ck := s.ckpt
+	if ck.dec != s.Dec {
+		js, err := json.Marshal(ckptTrailer{Cfg: s.Cfg, Cuts: s.Dec.Cuts()})
+		if err != nil {
+			// Config and cuts are plain scalars and slices; a marshal
+			// failure is a programming error, not a runtime condition.
+			panic(fmt.Sprintf("core: checkpoint trailer marshal: %v", err))
+		}
+		ck.trailer, ck.dec = js, s.Dec
+	}
+	return ck
 }
 
 // encodeMeta assembles the checkpoint meta blob into the persistent buffer:
@@ -96,13 +115,13 @@ func (ck *ckptState) encodeMeta(s *Simulation, nGlobal int64, withCfg bool) []by
 	binary.LittleEndian.PutUint64(w[40:], uint64(nGlobal))
 	ck.meta = append(ck.meta[:0], w[:]...)
 	if withCfg {
-		ck.meta = append(ck.meta, ck.cfgJSON...)
+		ck.meta = append(ck.meta, ck.trailer...)
 	}
 	return ck.meta
 }
 
 // decodeCkptMeta splits and validates a checkpoint meta blob, returning the
-// fixed state and the trailing config JSON (empty for replica containers).
+// fixed state and the trailing trailer JSON (empty for replica containers).
 func decodeCkptMeta(meta []byte) (ckptMeta, []byte, error) {
 	var m ckptMeta
 	if len(meta) < ckptMetaSize {
@@ -265,17 +284,18 @@ func Restore(c *mpi.Comm, dir string, mutate func(*Config)) (*Simulation, error)
 	// From here to the block reads, every check runs on identical data (the
 	// verified index and meta are the same bytes on every rank), so errors
 	// are symmetric and plain returns cannot strand a collective.
-	m, cfgJSON, err := decodeCkptMeta(gr.Meta())
+	m, trJSON, err := decodeCkptMeta(gr.Meta())
 	if err != nil {
 		return nil, err
 	}
 	if gr.NumRanks() != m.NRanks {
 		return nil, fmt.Errorf("core: checkpoint state declares %d ranks but holds %d blocks", m.NRanks, gr.NumRanks())
 	}
-	var cfg Config
-	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
-		return nil, fmt.Errorf("core: checkpoint config: %w", err)
+	var trail ckptTrailer
+	if err := json.Unmarshal(trJSON, &trail); err != nil {
+		return nil, fmt.Errorf("core: checkpoint trailer: %w", err)
 	}
+	cfg := trail.Cfg
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -292,6 +312,20 @@ func Restore(c *mpi.Comm, dir string, mutate func(*Config)) (*Simulation, error)
 	}
 	if a := s.sched.AAt(m.StepIndex); math.Float64bits(a) != math.Float64bits(m.A) {
 		return nil, fmt.Errorf("core: checkpoint scale factor %v does not match schedule position %d (%v)", m.A, m.StepIndex, a)
+	}
+	// Adopt the recorded geometry before loading any blocks: at the writing
+	// rank count the particle blocks were partitioned along these cuts, so
+	// the bitwise round-robin restore below lands every particle on its
+	// geometric owner directly. At a different rank count the recorded cuts
+	// don't apply (the process grid differs); the uniform decomposition plus
+	// the dense reassignment below handles it.
+	if c.Size() == m.NRanks {
+		if err := validCuts(trail.Cuts, s.Dec.N, s.Dec.Dims); err != nil {
+			return nil, fmt.Errorf("core: checkpoint geometry: %w", err)
+		}
+		if !sameCuts(trail.Cuts, s.Dec.Cuts()) {
+			s.adoptGeometry(trail.Cuts)
+		}
 	}
 
 	// Adopt a round-robin share of the writer blocks: block order is
@@ -336,6 +370,17 @@ func Restore(c *mpi.Comm, dir string, mutate func(*Config)) (*Simulation, error)
 	s.StepIndex = m.StepIndex
 	s.A = m.A
 	s.SubstepsDone = m.SubstepsDone
+	// Cost observations are counter deltas; the restored totals are history,
+	// not this run's first step. Likewise the balancer starts a fresh epoch
+	// at the restore point: its EWMA state is not checkpointed (it is a
+	// heuristic, not physics), so the restart behaves like a rebalance just
+	// fired — the model re-warms and the MinSteps hysteresis applies before
+	// any new geometry change.
+	s.lastInter = s.Counters.KernelInteractions
+	s.lastWalk = s.Counters.WalkNodes
+	if s.balancer != nil {
+		s.balancer.Fired(m.StepIndex)
+	}
 
 	if c.Size() == m.NRanks {
 		// Bitwise path: replicas restore directly when the replica container
@@ -454,6 +499,7 @@ func ResolveCheckpoint(path string) (string, error) {
 // CheckpointInfo summarizes a checkpoint's run state for tools.
 type CheckpointInfo struct {
 	Cfg       Config
+	Cuts      [3][]int // decomposition geometry at checkpoint time
 	StepIndex int
 	A         float64
 	NRanks    int
@@ -469,17 +515,17 @@ func OpenCheckpoint(dir string) (*gio.Reader, CheckpointInfo, error) {
 	if err != nil {
 		return nil, info, fmt.Errorf("core: %s is not a restorable checkpoint: %w", dir, err)
 	}
-	m, cfgJSON, err := decodeCkptMeta(gr.Meta())
+	m, trJSON, err := decodeCkptMeta(gr.Meta())
 	if err != nil {
 		gr.Close()
 		return nil, info, err
 	}
-	var cfg Config
-	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
+	var trail ckptTrailer
+	if err := json.Unmarshal(trJSON, &trail); err != nil {
 		gr.Close()
-		return nil, info, fmt.Errorf("core: checkpoint config: %w", err)
+		return nil, info, fmt.Errorf("core: checkpoint trailer: %w", err)
 	}
-	info = CheckpointInfo{Cfg: cfg, StepIndex: m.StepIndex, A: m.A, NRanks: m.NRanks, NGlobal: m.NGlobal}
+	info = CheckpointInfo{Cfg: trail.Cfg, Cuts: trail.Cuts, StepIndex: m.StepIndex, A: m.A, NRanks: m.NRanks, NGlobal: m.NGlobal}
 	return gr, info, nil
 }
 

@@ -116,6 +116,35 @@ type Config struct {
 	CheckpointEvery int
 	CheckpointDir   string
 
+	// Load balancing (PR 8; ROADMAP item 2, arXiv:1410.2805 §short-range).
+	// RebalanceThreshold arms the cost-driven domain rebalancer: when the
+	// EWMA-smoothed per-rank cost imbalance (max/mean of kernel interactions
+	// + walk node visits, AllGathered each step) exceeds the threshold, the
+	// slab boundaries are recut to equalize cost and the particles migrate
+	// to the new geometry. 0 disables rebalancing (the default — the uniform
+	// decomposition is the bitwise oracle); values in (0,1] or negative are
+	// rejected by Validate. RebalanceMinSteps is the hysteresis guard: the
+	// minimum number of full steps between rebalances (default 2). Both
+	// knobs alter which geometry each step runs under and therefore the
+	// bitwise trajectory, so both are fingerprinted.
+	RebalanceThreshold float64
+	RebalanceMinSteps  int
+
+	// StealWalks dispatches tree force walks through the pool's
+	// deque-stealing scheduler (par.ForSteal) instead of the static
+	// per-tree split, so a clustered leaf population self-balances across
+	// workers. Bitwise-neutral (accumulation is per-target; pinned by the
+	// steal equivalence tests), hence excluded from the fingerprint like
+	// Threads.
+	StealWalks bool
+
+	// ICKind selects the initial-condition generator: "zeldovich" (default)
+	// is the linear-theory realization; "halo" is the deliberately
+	// clustered cold start (ic.GenerateClustered — one deep off-center
+	// Plummer halo over a uniform background), the acceptance workload for
+	// the load balancer. Part of the problem definition: fingerprinted.
+	ICKind string
+
 	// Checkpoint write resilience (PR 6). A transient collective write
 	// failure (a flaky fsync, a momentarily full disk) retries up to
 	// CheckpointRetries times with jittered exponential backoff starting at
@@ -175,6 +204,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.MinHaloSize == 0 {
 		c.MinHaloSize = 10
+	}
+	if c.RebalanceMinSteps == 0 {
+		c.RebalanceMinSteps = 2
+	}
+	if c.ICKind == "" {
+		c.ICKind = "zeldovich"
 	}
 	if c.CheckpointRetries == 0 {
 		c.CheckpointRetries = 2
@@ -238,6 +273,19 @@ func (c Config) Validate() error {
 				b, c.FOFLinking, spacing, c.Overload)
 		}
 	}
+	// Load-balancing knobs: the threshold is a max/mean ratio, so anything
+	// at or below 1 would fire on every step forever.
+	if c.RebalanceThreshold != 0 && c.RebalanceThreshold <= 1 {
+		return fmt.Errorf("core: RebalanceThreshold %g must exceed 1 (0 disables rebalancing)", c.RebalanceThreshold)
+	}
+	if c.RebalanceMinSteps < 1 {
+		return fmt.Errorf("core: RebalanceMinSteps %d must be ≥1", c.RebalanceMinSteps)
+	}
+	switch c.ICKind {
+	case "zeldovich", "halo":
+	default:
+		return fmt.Errorf("core: unknown ICKind %q (want \"zeldovich\" or \"halo\")", c.ICKind)
+	}
 	// Checkpoint knobs: cadence and directory come as a pair, so a typo in
 	// one cannot silently disable durability for a multi-day run.
 	if c.CheckpointEvery < 0 {
@@ -284,6 +332,11 @@ func (c Config) Fingerprint() uint64 {
 		c.Solver, c.RCut, c.LeafSize, c.Overload, c.Eps, c.Sigma,
 		c.NsFilter, c.DisableFilter, c.SlabFFT, c.FitGridN, c.NTrees,
 		c.ThreadedCIC))
+	// Load-balancing schedule and IC family (PR 8): which geometry a step
+	// runs under — and which universe it starts from — is physics for
+	// restart-exactness purposes. StealWalks is deliberately absent: the
+	// stealing dispatch is bitwise ≡ the static one.
+	mix(fmt.Sprintf("%g %d %q", c.RebalanceThreshold, c.RebalanceMinSteps, c.ICKind))
 	return h
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hacc/internal/analysis"
+	"hacc/internal/balance"
 	"hacc/internal/cosmology"
 	"hacc/internal/domain"
 	"hacc/internal/fault"
@@ -82,6 +83,14 @@ type Simulation struct {
 	// immutable config JSON + fingerprint, reusable meta/var/counter
 	// buffers), built on first Checkpoint.
 	ckpt *ckptState
+
+	// balancer drives cost-based domain rebalancing (nil when
+	// Cfg.RebalanceThreshold is zero). lastInter/lastWalk record the counter
+	// values at the previous cost observation, so each step contributes a
+	// delta rather than a running total.
+	balancer  *balance.Balancer
+	lastInter int64
+	lastWalk  int64
 }
 
 // InSituResult is one in-situ analysis product: the rank's share of the
@@ -113,13 +122,22 @@ func New(c *mpi.Comm, cfg Config) (*Simulation, error) {
 		return nil, err
 	}
 	// Initial conditions.
-	err = ic.Generate(c, s.Dec, s.LP, ic.Options{
-		Np:     s.Cfg.NParticles,
-		BoxMpc: s.Cfg.BoxMpc,
-		AInit:  s.sched.AInit,
-		Seed:   s.Cfg.Seed,
-		Fixed:  s.Cfg.FixedAmp,
-	}, s.Dom)
+	if s.Cfg.ICKind == "halo" {
+		// Deliberately clustered cold start: the load-balancing stress
+		// workload (one deep Plummer halo, decomposition-independent).
+		err = ic.GenerateClustered(c, s.Dec, ic.ClusteredOptions{
+			Np:   s.Cfg.NParticles,
+			Seed: s.Cfg.Seed,
+		}, s.Dom)
+	} else {
+		err = ic.Generate(c, s.Dec, s.LP, ic.Options{
+			Np:     s.Cfg.NParticles,
+			BoxMpc: s.Cfg.BoxMpc,
+			AInit:  s.sched.AInit,
+			Seed:   s.Cfg.Seed,
+			Fixed:  s.Cfg.FixedAmp,
+		}, s.Dom)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +231,12 @@ func newSimulation(c *mpi.Comm, cfg Config) (*Simulation, error) {
 		gm := 1.5 * cfg.Cosmo.OmegaM * s.ParticleMass / (4 * math.Pi)
 		s.Kernel = shortrange.NewKernel(poly, cfg.RCut, cfg.Eps, gm)
 	}
+	if cfg.RebalanceThreshold > 0 {
+		s.balancer = balance.New(balance.Options{
+			Threshold: cfg.RebalanceThreshold,
+			MinSteps:  cfg.RebalanceMinSteps,
+		}, c.Size())
+	}
 	return s, nil
 }
 
@@ -276,6 +300,9 @@ func (s *Simulation) step() error {
 			return fmt.Errorf("core: step %d: %w", s.StepIndex, err)
 		}
 	}
+	// Rebalance before any physics of the step, so the whole step runs under
+	// one geometry and every rank makes the identical collective decision.
+	s.maybeRebalance()
 	a0, a1 := s.sched.StepBounds(s.StepIndex)
 	ops := timestep.Ops(s.Cfg.Cosmo, a0, a1, s.sched.SubCycles)
 	for _, op := range ops {
@@ -301,6 +328,7 @@ func (s *Simulation) step() error {
 	if s.Cfg.DisableOverlap {
 		s.FinishRefresh()
 	}
+	s.observeCost()
 	s.StepIndex++
 	s.A = a1
 	return nil
@@ -511,12 +539,17 @@ func (s *Simulation) kickShort(w float64) {
 			sc.fr.Rebuild(x, y, z)
 			s.Timers.Add("build", time.Since(t0))
 			t0 = time.Now()
-			// Forest threading splits goroutines across sub-trees itself;
-			// it does not use the flat worker pool.
-			sc.fr.ComputeForcesRanges(s.Kernel.ApplyRanges, s.Cfg.RCut, s.Cfg.Threads)
+			if s.Cfg.StealWalks {
+				s.Counters.StolenLeaves += sc.fr.ComputeForcesStealRanges(s.Kernel.ApplyRanges, s.Cfg.RCut, s.pool)
+			} else {
+				// Forest threading splits goroutines across sub-trees itself;
+				// it does not use the flat worker pool.
+				sc.fr.ComputeForcesRanges(s.Kernel.ApplyRanges, s.Cfg.RCut, s.Cfg.Threads)
+			}
 			walkAndKernel := time.Since(t0)
 			inter := sc.fr.Interactions()
 			s.Counters.KernelInteractions += inter
+			s.Counters.WalkNodes += sc.fr.NodesVisited()
 			kshare := kernelShare(walkAndKernel, inter, sc.fr.NeighborCount())
 			s.Timers.Add("kernel", kshare)
 			s.Timers.Add("walk", walkAndKernel-kshare)
@@ -531,10 +564,15 @@ func (s *Simulation) kickShort(w float64) {
 		tr.Rebuild(x, y, z)
 		s.Timers.Add("build", time.Since(t0))
 		t0 = time.Now()
-		tr.ComputeForcesPoolRanges(s.Kernel.ApplyRanges, s.Cfg.RCut, s.pool)
+		if s.Cfg.StealWalks {
+			s.Counters.StolenLeaves += tr.ComputeForcesStealRanges(s.Kernel.ApplyRanges, s.Cfg.RCut, s.pool)
+		} else {
+			tr.ComputeForcesPoolRanges(s.Kernel.ApplyRanges, s.Cfg.RCut, s.pool)
+		}
 		walkAndKernel := time.Since(t0)
 		inter := tr.Interactions.Load()
 		s.Counters.KernelInteractions += inter
+		s.Counters.WalkNodes += tr.NodesVisited.Load()
 		// Split the measured time by the modeled kernel rate: the kernel
 		// share is interactions at the sustained per-pair cost; remainder
 		// is the walk. (Direct per-leaf timing would serialize the
@@ -697,17 +735,21 @@ func (s *Simulation) DensityStats() analysis.DensityStats {
 
 // GlobalCounters reduces the per-rank counters across the communicator.
 func (s *Simulation) GlobalCounters() machine.Counters {
-	vals := []int64{s.Counters.KernelInteractions, s.Counters.FFT3D, s.Counters.CICOps}
+	vals := []int64{s.Counters.KernelInteractions, s.Counters.FFT3D, s.Counters.CICOps,
+		s.Counters.WalkNodes, s.Counters.StolenLeaves}
 	tot := mpi.AllReduce(s.Comm, vals, mpi.SumI64)
 	return machine.Counters{
 		KernelInteractions: tot[0],
 		FFT3D:              s.Counters.FFT3D, // global transforms, not per-rank sums
 		FFTGridN:           s.Counters.FFTGridN,
 		CICOps:             tot[2],
+		WalkNodes:          tot[3],
+		StolenLeaves:       tot[4],
 		// Collective events, identical on every rank: kept, not summed.
 		Restarts:        s.Counters.Restarts,
 		CkptRetries:     s.Counters.CkptRetries,
 		CkptQuarantined: s.Counters.CkptQuarantined,
+		Rebalances:      s.Counters.Rebalances,
 	}
 }
 

@@ -7,16 +7,34 @@ import (
 	"hacc/internal/pfft"
 )
 
-// Decomp is the regular (possibly non-cubic) 3-D block decomposition of an
-// N[0]×N[1]×N[2] periodic grid over a Dims[0]×Dims[1]×Dims[2] process grid.
+// Decomp is the rectilinear (possibly non-cubic, possibly non-uniform) 3-D
+// block decomposition of an N[0]×N[1]×N[2] periodic grid over a
+// Dims[0]×Dims[1]×Dims[2] process grid. Interval boundaries along each axis
+// are explicit cut arrays, so cost-driven rebalancing can shift slab
+// boundaries while everything downstream (fields, exchangers, domain plans)
+// keeps working off Box/RankOf.
 type Decomp struct {
 	N    [3]int
 	Dims [3]int
 	lay  *pfft.Layout
+	cuts [3][]int // cuts[i] has Dims[i]+1 ascending entries, 0..N[i]
 }
 
-// NewDecomp builds a decomposition for the given communicator size with a
-// balanced process grid, or with explicit dims when provided.
+// UniformCuts returns the equal-chunk cut arrays (`c*n/p` boundaries) that
+// reproduce the classic uniform decomposition exactly.
+func UniformCuts(n [3]int, dims [3]int) [3][]int {
+	var cuts [3][]int
+	for i := 0; i < 3; i++ {
+		cuts[i] = make([]int, dims[i]+1)
+		for c := 0; c <= dims[i]; c++ {
+			cuts[i][c] = c * n[i] / dims[i]
+		}
+	}
+	return cuts
+}
+
+// NewDecomp builds a uniform decomposition for the given communicator size
+// with a balanced process grid, or with explicit dims when provided.
 func NewDecomp(n [3]int, size int, dims ...int) *Decomp {
 	var d [3]int
 	if len(dims) == 3 {
@@ -33,7 +51,41 @@ func NewDecomp(n [3]int, size int, dims ...int) *Decomp {
 			panic(fmt.Sprintf("grid: process grid %v exceeds grid %v", d, n))
 		}
 	}
-	return &Decomp{N: n, Dims: d, lay: pfft.Block3D(n, d)}
+	return NewDecompCuts(n, d, UniformCuts(n, d))
+}
+
+// NewDecompCuts builds a decomposition with explicit per-axis interval
+// boundaries. cuts[i] must hold dims[i]+1 strictly increasing values from 0
+// to n[i]. Rank order matches pfft.Block3D (row-major, z fastest).
+func NewDecompCuts(n [3]int, dims [3]int, cuts [3][]int) *Decomp {
+	for i := 0; i < 3; i++ {
+		if len(cuts[i]) != dims[i]+1 {
+			panic(fmt.Sprintf("grid: axis %d has %d cuts, want %d", i, len(cuts[i]), dims[i]+1))
+		}
+		if cuts[i][0] != 0 || cuts[i][dims[i]] != n[i] {
+			panic(fmt.Sprintf("grid: axis %d cuts %v must span [0,%d]", i, cuts[i], n[i]))
+		}
+		for c := 0; c < dims[i]; c++ {
+			if cuts[i][c] >= cuts[i][c+1] {
+				panic(fmt.Sprintf("grid: axis %d cuts %v not strictly increasing", i, cuts[i]))
+			}
+		}
+	}
+	own := [3][]int{append([]int(nil), cuts[0]...), append([]int(nil), cuts[1]...), append([]int(nil), cuts[2]...)}
+	p := dims[0] * dims[1] * dims[2]
+	lay := &pfft.Layout{N: n, Order: [3]int{0, 1, 2}}
+	lay.Boxes = make([]pfft.Box, p)
+	for r := 0; r < p; r++ {
+		cz := r % dims[2]
+		cy := (r / dims[2]) % dims[1]
+		cx := r / (dims[1] * dims[2])
+		var b pfft.Box
+		b.Lo[0], b.Hi[0] = own[0][cx], own[0][cx+1]
+		b.Lo[1], b.Hi[1] = own[1][cy], own[1][cy+1]
+		b.Lo[2], b.Hi[2] = own[2][cz], own[2][cz+1]
+		lay.Boxes[r] = b
+	}
+	return &Decomp{N: n, Dims: dims, lay: lay, cuts: own}
 }
 
 // Layout returns the block layout (one box per rank, z fastest storage).
@@ -45,6 +97,10 @@ func (d *Decomp) Box(rank int) pfft.Box { return d.lay.Boxes[rank] }
 // NumRanks returns the total number of ranks in the decomposition.
 func (d *Decomp) NumRanks() int { return len(d.lay.Boxes) }
 
+// Cuts returns the per-axis interval boundaries. The slices are owned by the
+// decomposition and must not be mutated.
+func (d *Decomp) Cuts() [3][]int { return d.cuts }
+
 // RankOf returns the owner rank of the (periodically wrapped) position.
 func (d *Decomp) RankOf(x, y, z float64) int {
 	g := [3]float64{x, y, z}
@@ -53,13 +109,11 @@ func (d *Decomp) RankOf(x, y, z float64) int {
 		n := d.N[i]
 		v := int(g[i])
 		v = ((v % n) + n) % n
-		// Process coordinate from the chunk map: chunks are i*n/p..(i+1)n/p,
-		// so the owner is the largest c with c*n/p <= v.
-		c := (v*d.Dims[i] + d.Dims[i] - 1) / n
-		for c*n/d.Dims[i] > v {
-			c--
-		}
-		for (c+1)*n/d.Dims[i] <= v {
+		// The owner is the largest c with cuts[c] <= v. Dims are small
+		// (≤ a few per axis), so an ascending scan beats a binary search.
+		cs := d.cuts[i]
+		c := 0
+		for c+1 < d.Dims[i] && cs[c+1] <= v {
 			c++
 		}
 		co[i] = c

@@ -429,3 +429,130 @@ func TestDepositInterpAdjointProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// oldRankOf is the pre-cuts closed-form owner computation for the uniform
+// chunk map, retained as the oracle for the cut-based RankOf.
+func oldRankOf(d *Decomp, x, y, z float64) int {
+	g := [3]float64{x, y, z}
+	var co [3]int
+	for i := 0; i < 3; i++ {
+		n := d.N[i]
+		v := int(g[i])
+		v = ((v % n) + n) % n
+		c := (v*d.Dims[i] + d.Dims[i] - 1) / n
+		for c*n/d.Dims[i] > v {
+			c--
+		}
+		for (c+1)*n/d.Dims[i] <= v {
+			c++
+		}
+		co[i] = c
+	}
+	return (co[0]*d.Dims[1]+co[1])*d.Dims[2] + co[2]
+}
+
+// TestUniformCutsMatchLegacy pins the cuts refactor: the default uniform
+// decomposition must produce bit-identical boxes and owner assignments to
+// the original chunk-formula code.
+func TestUniformCutsMatchLegacy(t *testing.T) {
+	for _, tc := range []struct {
+		n    [3]int
+		size int
+		dims []int
+	}{
+		{[3]int{16, 12, 8}, 6, []int{3, 2, 1}},
+		{[3]int{32, 32, 32}, 8, nil},
+		{[3]int{17, 19, 23}, 12, []int{3, 2, 2}},
+	} {
+		d := NewDecomp(tc.n, tc.size, tc.dims...)
+		var dims [3]int
+		copy(dims[:], d.Dims[:])
+		lay := d.Layout()
+		for r := 0; r < tc.size; r++ {
+			cz := r % dims[2]
+			cy := (r / dims[2]) % dims[1]
+			cx := r / (dims[1] * dims[2])
+			want := [3][2]int{
+				{cx * tc.n[0] / dims[0], (cx + 1) * tc.n[0] / dims[0]},
+				{cy * tc.n[1] / dims[1], (cy + 1) * tc.n[1] / dims[1]},
+				{cz * tc.n[2] / dims[2], (cz + 1) * tc.n[2] / dims[2]},
+			}
+			b := lay.Boxes[r]
+			for i := 0; i < 3; i++ {
+				if b.Lo[i] != want[i][0] || b.Hi[i] != want[i][1] {
+					t.Fatalf("n=%v rank %d axis %d: box [%d,%d) want [%d,%d)",
+						tc.n, r, i, b.Lo[i], b.Hi[i], want[i][0], want[i][1])
+				}
+			}
+		}
+		rng := rand.New(rand.NewSource(7))
+		for k := 0; k < 2000; k++ {
+			x := (rng.Float64()*3 - 1) * float64(tc.n[0])
+			y := (rng.Float64()*3 - 1) * float64(tc.n[1])
+			z := (rng.Float64()*3 - 1) * float64(tc.n[2])
+			if got, want := d.RankOf(x, y, z), oldRankOf(d, x, y, z); got != want {
+				t.Fatalf("RankOf(%g,%g,%g)=%d, legacy %d", x, y, z, got, want)
+			}
+		}
+	}
+}
+
+// TestNonUniformCuts checks that explicit cut arrays produce a covering,
+// disjoint box set whose membership agrees with RankOf.
+func TestNonUniformCuts(t *testing.T) {
+	n := [3]int{32, 32, 32}
+	dims := [3]int{2, 2, 2}
+	cuts := [3][]int{{0, 9, 32}, {0, 20, 32}, {0, 5, 32}}
+	d := NewDecompCuts(n, dims, cuts)
+	total := 0
+	for r := 0; r < 8; r++ {
+		total += d.Box(r).Count()
+	}
+	if total != 32*32*32 {
+		t.Fatalf("boxes cover %d cells, want %d", total, 32*32*32)
+	}
+	got := d.Cuts()
+	for i := 0; i < 3; i++ {
+		for c := range cuts[i] {
+			if got[i][c] != cuts[i][c] {
+				t.Fatalf("Cuts()[%d]=%v, want %v", i, got[i], cuts[i])
+			}
+		}
+	}
+	for x := 0; x < n[0]; x++ {
+		for y := 0; y < n[1]; y += 3 {
+			for z := 0; z < n[2]; z += 5 {
+				r := d.RankOf(float64(x), float64(y), float64(z))
+				b := d.Box(r)
+				if x < b.Lo[0] || x >= b.Hi[0] || y < b.Lo[1] || y >= b.Hi[1] || z < b.Lo[2] || z >= b.Hi[2] {
+					t.Fatalf("cell (%d,%d,%d) assigned to rank %d box %v", x, y, z, r, b)
+				}
+			}
+		}
+	}
+	// Wrapped coordinates map to the same owner as their canonical alias.
+	if d.RankOf(-1, 35, 64.5) != d.RankOf(31, 3, 0.5) {
+		t.Fatal("periodic wrap changed the owner")
+	}
+}
+
+func TestNewDecompCutsValidation(t *testing.T) {
+	n := [3]int{16, 16, 16}
+	dims := [3]int{2, 1, 1}
+	for _, bad := range [][3][]int{
+		{{0, 8}, {0, 16}, {0, 16}},      // wrong length
+		{{1, 8, 16}, {0, 16}, {0, 16}},  // doesn't start at 0
+		{{0, 8, 15}, {0, 16}, {0, 16}},  // doesn't end at n
+		{{0, 0, 16}, {0, 16}, {0, 16}},  // empty interval
+		{{0, 16, 16}, {0, 16}, {0, 16}}, // empty interval at end
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("cuts %v: expected panic", bad)
+				}
+			}()
+			NewDecompCuts(n, dims, bad)
+		}()
+	}
+}

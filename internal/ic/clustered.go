@@ -1,0 +1,136 @@
+package ic
+
+import (
+	"fmt"
+	"math"
+
+	"hacc/internal/domain"
+	"hacc/internal/grid"
+	"hacc/internal/mpi"
+)
+
+// ClusteredOptions configures the deliberately clustered initial condition:
+// a single deep Plummer-profile halo embedded in a uniform background. This
+// is the late-time stress workload for the load balancer — a fixed uniform
+// decomposition concentrates most short-range work on the ranks holding the
+// halo. Distances are in grid cells.
+type ClusteredOptions struct {
+	Np   int // particles per dimension (Np³ total)
+	Seed uint64
+	// HaloFrac is the fraction of particles in the halo; the rest form a
+	// uniform background. Default 0.4.
+	HaloFrac float64
+	// Center is the halo center in grid coordinates. Default 0.25·N per
+	// axis: deliberately off-center so the halo lands inside one octant —
+	// a box-centered halo is symmetric under the usual 2×2×2 process grid
+	// and would not stress the balancer at all.
+	Center [3]float64
+	// ScaleRad is the Plummer scale radius a in grid cells (default N/6).
+	// Particle radii are drawn from the Plummer mass profile
+	// M(<r)/M = r³/(r²+a²)^{3/2} and truncated at 4a.
+	//
+	// The defaults are deliberately the steepest halo that still respects
+	// the overload drift contract on the reference schedules (z = 3 → 1 in
+	// ≥ 6 steps): the cold halo collapses, and the per-step particle drift
+	// must stay within the ~1-cell margin the field ghost and overload
+	// shell budget for. A much deeper or more massive halo (the old
+	// N/16-scale default) slingshots core particles many cells per step;
+	// wide uniform slabs mask that (slab + 2·ghost ≥ N covers every cell),
+	// but any narrower rebalanced slab faults on the excursion.
+	ScaleRad float64
+}
+
+func (o ClusteredOptions) withDefaults(n [3]int) ClusteredOptions {
+	if o.HaloFrac == 0 {
+		o.HaloFrac = 0.4
+	}
+	if o.Center == [3]float64{} {
+		o.Center = [3]float64{0.25 * float64(n[0]), 0.25 * float64(n[1]), 0.25 * float64(n[2])}
+	}
+	if o.ScaleRad == 0 {
+		o.ScaleRad = float64(n[0]) / 6
+	}
+	return o
+}
+
+// Validate reports configuration errors.
+func (o ClusteredOptions) Validate() error {
+	if o.Np < 2 {
+		return fmt.Errorf("ic: need ≥2 particles per dim, got %d", o.Np)
+	}
+	if o.HaloFrac < 0 || o.HaloFrac > 1 {
+		return fmt.Errorf("ic: halo fraction %g outside [0,1]", o.HaloFrac)
+	}
+	if o.ScaleRad < 0 {
+		return fmt.Errorf("ic: scale radius %g negative", o.ScaleRad)
+	}
+	return nil
+}
+
+// plummerRadius inverts the Plummer mass profile: given u uniform in (0,1],
+// returns the radius enclosing mass fraction u, truncated at 4a.
+func plummerRadius(a, u float64) float64 {
+	u23 := math.Cbrt(u * u)
+	r := a * math.Sqrt(u23/(1-u23+1e-300))
+	if r > 4*a {
+		r = 4 * a
+	}
+	return r
+}
+
+// clusteredPos returns the deterministic position of particle id, in grid
+// coordinates, already rounded to float32 (owner checks must use exactly
+// the coordinates that will be stored).
+func clusteredPos(id uint64, o ClusteredOptions, n [3]int, nHalo uint64) (x, y, z float32) {
+	h := splitmix(o.Seed ^ splitmix(id*0x9e3779b97f4a7c15+0x7f4a7c15))
+	u1 := toUniform(h)
+	h = splitmix(h)
+	u2 := toUniform(h)
+	h = splitmix(h)
+	u3 := toUniform(h)
+	var p [3]float64
+	if id < nHalo {
+		r := plummerRadius(o.ScaleRad, u1)
+		cosT := 2*u2 - 1
+		sinT := math.Sqrt(1 - cosT*cosT)
+		phi := 2 * math.Pi * u3
+		p[0] = o.Center[0] + r*sinT*math.Cos(phi)
+		p[1] = o.Center[1] + r*sinT*math.Sin(phi)
+		p[2] = o.Center[2] + r*cosT
+	} else {
+		p[0] = u1 * float64(n[0])
+		p[1] = u2 * float64(n[1])
+		p[2] = u3 * float64(n[2])
+	}
+	for d := 0; d < 3; d++ {
+		nd := float64(n[d])
+		p[d] = math.Mod(math.Mod(p[d], nd)+nd, nd)
+	}
+	return float32(p[0]), float32(p[1]), float32(p[2])
+}
+
+// GenerateClustered fills dom.Active with the rank's share of the clustered
+// realization: a cold start (zero velocities) whose only structure is the
+// deliberate halo. Every rank evaluates the same deterministic per-particle
+// stream and keeps the particles it owns, so the global realization is
+// independent of the decomposition — uniform and rebalanced geometries see
+// bit-identical particles. Collective over comm.
+func GenerateClustered(c *mpi.Comm, dec *grid.Decomp, o ClusteredOptions, dom *domain.Domain) error {
+	o = o.withDefaults(dec.N)
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	total := uint64(o.Np) * uint64(o.Np) * uint64(o.Np)
+	nHalo := uint64(o.HaloFrac * float64(total))
+	me := c.Rank()
+	dom.Active.Reset()
+	for id := uint64(0); id < total; id++ {
+		x, y, z := clusteredPos(id, o, dec.N, nHalo)
+		if dec.RankOf(float64(x), float64(y), float64(z)) != me {
+			continue
+		}
+		dom.Active.Append(x, y, z, 0, 0, 0, id)
+	}
+	dom.Migrate()
+	return nil
+}

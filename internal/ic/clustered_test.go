@@ -1,0 +1,131 @@
+package ic
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"hacc/internal/domain"
+	"hacc/internal/grid"
+	"hacc/internal/mpi"
+)
+
+func collectClustered(t *testing.T, procs int, o ClusteredOptions, ng int) (x, y, z []float32, id []uint64) {
+	t.Helper()
+	n := [3]int{ng, ng, ng}
+	err := mpi.Run(procs, func(c *mpi.Comm) {
+		dec := grid.NewDecomp(n, procs)
+		dom := domain.New(c, dec, 2)
+		if err := GenerateClustered(c, dec, o, dom); err != nil {
+			t.Error(err)
+			return
+		}
+		gx := mpi.Gather(c, 0, dom.Active.X)
+		gy := mpi.Gather(c, 0, dom.Active.Y)
+		gz := mpi.Gather(c, 0, dom.Active.Z)
+		gid := mpi.Gather(c, 0, dom.Active.ID)
+		if c.Rank() == 0 {
+			x, y, z, id = gx, gy, gz, gid
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+// TestClusteredDensityProfile is the density-profile sanity check: a pure
+// Plummer halo must reproduce the analytic enclosed-mass fractions
+// M(<a)/M = 2^{-3/2} and M(<2a)/M = 8·5^{-3/2} within sampling noise.
+func TestClusteredDensityProfile(t *testing.T) {
+	const ng = 64
+	o := ClusteredOptions{Np: 28, Seed: 5, HaloFrac: 1, ScaleRad: 4}
+	x, y, z, id := collectClustered(t, 1, o, ng)
+	n := len(x)
+	if n != 28*28*28 {
+		t.Fatalf("got %d particles, want %d", n, 28*28*28)
+	}
+	_ = id
+	cx, cy, cz := 0.25*ng, 0.25*ng, 0.25*ng
+	a := o.ScaleRad
+	countIn := func(rad float64) int {
+		k := 0
+		for i := range x {
+			dx := float64(x[i]) - cx
+			dy := float64(y[i]) - cy
+			dz := float64(z[i]) - cz
+			if dx*dx+dy*dy+dz*dz <= rad*rad {
+				k++
+			}
+		}
+		return k
+	}
+	checks := []struct {
+		rad  float64
+		frac float64
+	}{
+		{a, 1 / (2 * math.Sqrt2)},       // ≈ 0.3536
+		{2 * a, 8 / math.Pow(5, 1.5)},   // ≈ 0.7155
+		{3 * a, 27 / math.Pow(10, 1.5)}, // ≈ 0.8538
+		{4.0001 * a, 1},                 // truncation radius
+	}
+	for _, ck := range checks {
+		got := float64(countIn(ck.rad)) / float64(n)
+		if math.Abs(got-ck.frac) > 0.02 {
+			t.Errorf("enclosed fraction at r=%g: %.4f, want %.4f ± 0.02", ck.rad, got, ck.frac)
+		}
+	}
+}
+
+// TestClusteredDecompositionIndependence: the realization must be
+// bit-identical across rank counts and across non-uniform cut geometries —
+// the property that lets a rebalanced run share the static run's universe.
+func TestClusteredDecompositionIndependence(t *testing.T) {
+	const ng = 32
+	o := ClusteredOptions{Np: 12, Seed: 9}
+	x1, y1, z1, id1 := collectClustered(t, 1, o, ng)
+	x8, y8, z8, id8 := collectClustered(t, 8, o, ng)
+	if len(id1) != len(id8) || len(id1) != 12*12*12 {
+		t.Fatalf("counts differ: %d vs %d", len(id1), len(id8))
+	}
+	v1 := make([]float32, len(id1))
+	v8 := make([]float32, len(id8))
+	sort.Sort(byID{x1, y1, z1, v1, id1})
+	sort.Sort(byID{x8, y8, z8, v8, id8})
+	for i := range id1 {
+		if id1[i] != id8[i] {
+			t.Fatalf("ID order differs at %d", i)
+		}
+		if math.Float32bits(x1[i]) != math.Float32bits(x8[i]) ||
+			math.Float32bits(y1[i]) != math.Float32bits(y8[i]) ||
+			math.Float32bits(z1[i]) != math.Float32bits(z8[i]) {
+			t.Fatalf("position differs for ID %d", id1[i])
+		}
+	}
+	// The halo must concentrate particles: the octant around the default
+	// center holds well over its uniform 1/8 share. With the default 0.4
+	// halo fraction and a = N/6 scale radius, roughly 60% of the halo's
+	// mass sits inside the octant plus the background's 0.075 — about 0.33.
+	inOctant := 0
+	for i := range x1 {
+		if x1[i] < ng/2 && y1[i] < ng/2 && z1[i] < ng/2 {
+			inOctant++
+		}
+	}
+	if frac := float64(inOctant) / float64(len(x1)); frac < 0.3 {
+		t.Fatalf("halo octant holds only %.2f of particles; IC not clustered", frac)
+	}
+}
+
+func TestClusteredValidate(t *testing.T) {
+	for _, bad := range []ClusteredOptions{
+		{Np: 1},
+		{Np: 8, HaloFrac: 1.5},
+		{Np: 8, ScaleRad: -1},
+	} {
+		n := [3]int{16, 16, 16}
+		if bad.withDefaults(n).Validate() == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+}

@@ -55,6 +55,15 @@ type Counters struct {
 	Restarts        int64
 	CkptRetries     int64
 	CkptQuarantined int64
+
+	// Load-balancing accounting (PR 8). WalkNodes counts tree-walk node
+	// visits — the balancer's "walk time" term, a deterministic stand-in for
+	// wall-clock. Rebalances counts cost-driven domain-geometry rebuilds (a
+	// collective event); StolenLeaves counts force-walk leaves executed by a
+	// worker other than their static owner. None are flop sources.
+	WalkNodes    int64
+	Rebalances   int64
+	StolenLeaves int64
 }
 
 // Flops converts the counters to a total flop count under the model.
@@ -75,11 +84,14 @@ func (c *Counters) Add(o Counters) {
 	c.Restarts += o.Restarts
 	c.CkptRetries += o.CkptRetries
 	c.CkptQuarantined += o.CkptQuarantined
+	c.WalkNodes += o.WalkNodes
+	c.Rebalances += o.Rebalances
+	c.StolenLeaves += o.StolenLeaves
 }
 
 // CounterWords is the number of int64 words Encode packs — the per-rank
 // counter block a checkpoint stores for each rank.
-const CounterWords = 7
+const CounterWords = 10
 
 // Encode packs the counters into the first CounterWords entries of w, for
 // checkpointing. Decode inverts it; MergeRestored folds blocks adopted from
@@ -92,6 +104,9 @@ func (c *Counters) Encode(w []int64) {
 	w[4] = c.Restarts
 	w[5] = c.CkptRetries
 	w[6] = c.CkptQuarantined
+	w[7] = c.WalkNodes
+	w[8] = c.Rebalances
+	w[9] = c.StolenLeaves
 }
 
 // Decode replaces the counters with an encoded block.
@@ -103,6 +118,9 @@ func (c *Counters) Decode(w []int64) {
 	c.Restarts = w[4]
 	c.CkptRetries = w[5]
 	c.CkptQuarantined = w[6]
+	c.WalkNodes = w[7]
+	c.Rebalances = w[8]
+	c.StolenLeaves = w[9]
 }
 
 // MergeRestored folds a counter block adopted from another rank's
@@ -131,6 +149,18 @@ func (c *Counters) MergeRestored(w []int64) {
 	}
 	if c.CkptQuarantined == 0 {
 		c.CkptQuarantined = w[6]
+	}
+	// WalkNodes is per-rank partial work like KernelInteractions: it adds.
+	c.WalkNodes += w[7]
+	// Rebalances records collective geometry rebuilds (every rank counts the
+	// same event) and StolenLeaves is an intra-rank scheduling diagnostic
+	// whose blocks would double-count under addition across adopted ranks;
+	// both keep-once like the resilience counters.
+	if c.Rebalances == 0 {
+		c.Rebalances = w[8]
+	}
+	if c.StolenLeaves == 0 {
+		c.StolenLeaves = w[9]
 	}
 }
 
@@ -198,6 +228,15 @@ const (
 // CommSplit returns the posted and exposed communication time.
 func (t *Timers) CommSplit() (post, wait time.Duration) {
 	return t.Get(CommPost), t.Get(CommWait)
+}
+
+// Busy returns the total time across phases minus the exposed communication
+// wait: the rank's working share of the step. Imbalance shows up as a
+// spread of Busy across ranks — an idle rank parks in CommWait while the
+// overloaded one computes — so max/mean/min of per-rank Busy is the
+// step-time imbalance column of the phase report.
+func (t *Timers) Busy() time.Duration {
+	return t.Total() - t.Get(CommWait)
 }
 
 // Total returns the sum over all phases.

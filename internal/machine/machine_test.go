@@ -75,6 +75,7 @@ func TestCounterCheckpointWords(t *testing.T) {
 	orig := Counters{
 		KernelInteractions: 123456, FFT3D: 48, FFTGridN: 256, CICOps: 7890,
 		Restarts: 2, CkptRetries: 3, CkptQuarantined: 1,
+		WalkNodes: 5555, Rebalances: 4, StolenLeaves: 77,
 	}
 	w := make([]int64, CounterWords)
 	orig.Encode(w)
@@ -83,13 +84,15 @@ func TestCounterCheckpointWords(t *testing.T) {
 	if back != orig {
 		t.Fatalf("Decode(Encode(c)) = %+v, want %+v", back, orig)
 	}
-	// A reader rank adopting two writer blocks: additive fields sum; FFT3D,
-	// FFTGridN, and the resilience counters (identical on every writer rank
-	// — restarts and retries are collective events) are kept once.
+	// A reader rank adopting two writer blocks: additive fields (per-rank
+	// partial work: interactions, CIC, walk nodes) sum; FFT3D, FFTGridN, the
+	// resilience counters, and the balancing event counters (identical or
+	// per-schedule on every writer rank) are kept once.
 	w2 := make([]int64, CounterWords)
 	(&Counters{
 		KernelInteractions: 1000, FFT3D: 48, FFTGridN: 256, CICOps: 10,
 		Restarts: 2, CkptRetries: 3, CkptQuarantined: 1,
+		WalkNodes: 45, Rebalances: 4, StolenLeaves: 33,
 	}).Encode(w2)
 	var merged Counters
 	merged.MergeRestored(w)
@@ -97,6 +100,7 @@ func TestCounterCheckpointWords(t *testing.T) {
 	want := Counters{
 		KernelInteractions: 124456, FFT3D: 48, FFTGridN: 256, CICOps: 7900,
 		Restarts: 2, CkptRetries: 3, CkptQuarantined: 1,
+		WalkNodes: 5600, Rebalances: 4, StolenLeaves: 77,
 	}
 	if merged != want {
 		t.Fatalf("merged = %+v, want %+v", merged, want)
@@ -106,5 +110,15 @@ func TestCounterCheckpointWords(t *testing.T) {
 	noR := Counters{KernelInteractions: 100}
 	if withR.Flops() != noR.Flops() {
 		t.Fatalf("resilience counters leak into Flops: %g != %g", withR.Flops(), noR.Flops())
+	}
+}
+
+func TestTimersBusy(t *testing.T) {
+	tm := NewTimers()
+	tm.Add("kernel", 70*time.Millisecond)
+	tm.Add(CommPost, 10*time.Millisecond)
+	tm.Add(CommWait, 20*time.Millisecond)
+	if got, want := tm.Busy(), 80*time.Millisecond; got != want {
+		t.Fatalf("Busy() = %v, want %v", got, want)
 	}
 }

@@ -203,6 +203,58 @@ func (f *Forest) ComputeForcesRanges(kern RangeLeafKernel, rcut float64, threads
 	wg.Wait()
 }
 
+// ComputeForcesStealRanges evaluates every sub-tree with leaves distributed
+// by the pool's deque-stealing dispatch over the flattened (tree, leaf)
+// index space. Unlike ComputeForcesRanges' static per-tree goroutine split
+// (which strands threads on cheap slabs when clustering makes per-slab cost
+// diverge), any worker can walk any tree's leaves, so the forest
+// self-balances. Bitwise ≡ ComputeForcesRanges for any worker count: each
+// leaf accumulates only into its own span of its tree's arrays. Returns the
+// number of stolen leaves.
+func (f *Forest) ComputeForcesStealRanges(kern RangeLeafKernel, rcut float64, pool *par.Pool) int64 {
+	total := 0
+	for _, tr := range f.Trees {
+		tr.prepForces()
+		tr.ensureWalk(pool.Workers())
+		total += len(tr.leaves)
+	}
+	if total == 0 {
+		return 0
+	}
+	rc := float32(rcut)
+	trees := f.Trees
+	return pool.ForSteal(total, 1, func(w, lo, hi int) {
+		// Locate the tree containing global leaf lo; trees are short slices,
+		// so a linear scan beats a prefix-sum search.
+		t, base := 0, 0
+		for lo >= base+len(trees[t].leaves) {
+			base += len(trees[t].leaves)
+			t++
+		}
+		for g := lo; g < hi; g++ {
+			for g >= base+len(trees[t].leaves) {
+				base += len(trees[t].leaves)
+				t++
+			}
+			tr := trees[t]
+			ws := &tr.walk[w]
+			i, v, s := tr.walkLeafRanges(ws, g-base, kern, rc)
+			tr.Interactions.Add(i)
+			tr.NodesVisited.Add(v)
+			tr.NeighborCount.Add(s)
+		}
+	})
+}
+
+// NodesVisited sums walk node visits across the sub-trees.
+func (f *Forest) NodesVisited() int64 {
+	var s int64
+	for _, t := range f.Trees {
+		s += t.NodesVisited.Load()
+	}
+	return s
+}
+
 // AccelInto scatters the accelerations of owned particles back to the
 // caller's order; halo-copy results are discarded.
 func (f *Forest) AccelInto(ax, ay, az []float32) {

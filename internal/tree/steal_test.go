@@ -1,0 +1,107 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hacc/internal/par"
+)
+
+// TestStealWalkMatchesPoolWalk pins the stealing dispatch against the
+// shared-cursor dispatch on a single tree: bitwise-identical accelerations
+// and identical walk statistics for every pool size.
+func TestStealWalkMatchesPoolWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	kern := copyAdapter(testKernel(4))
+	const rcut = 2.0
+	x, y, z := randomParticles(800, 16, rng)
+	tr := Build(x, y, z, 16)
+	tr.ComputeForcesPoolRanges(kern, rcut, par.NewPool(1))
+	ax0 := append([]float32(nil), tr.AX...)
+	ay0 := append([]float32(nil), tr.AY...)
+	az0 := append([]float32(nil), tr.AZ...)
+	inter0, visit0, nbr0 := tr.Interactions.Load(), tr.NodesVisited.Load(), tr.NeighborCount.Load()
+	for _, workers := range []int{1, 2, 3, 5} {
+		tr.Interactions.Store(0)
+		tr.NodesVisited.Store(0)
+		tr.NeighborCount.Store(0)
+		tr.ComputeForcesStealRanges(kern, rcut, par.NewPool(workers))
+		if tr.Interactions.Load() != inter0 || tr.NodesVisited.Load() != visit0 || tr.NeighborCount.Load() != nbr0 {
+			t.Fatalf("workers=%d: stats (%d,%d,%d) differ from cursor walk (%d,%d,%d)",
+				workers, tr.Interactions.Load(), tr.NodesVisited.Load(), tr.NeighborCount.Load(),
+				inter0, visit0, nbr0)
+		}
+		for i := range ax0 {
+			if math.Float32bits(tr.AX[i]) != math.Float32bits(ax0[i]) ||
+				math.Float32bits(tr.AY[i]) != math.Float32bits(ay0[i]) ||
+				math.Float32bits(tr.AZ[i]) != math.Float32bits(az0[i]) {
+				t.Fatalf("workers=%d: particle %d differs: (%v %v %v) vs (%v %v %v)",
+					workers, i, tr.AX[i], tr.AY[i], tr.AZ[i], ax0[i], ay0[i], az0[i])
+			}
+		}
+	}
+}
+
+// TestForestStealMatchesStatic pins the flattened (tree, leaf) stealing
+// dispatch against the static per-tree goroutine split across worker
+// counts: the two schedules must agree bitwise on scattered accelerations
+// and exactly on the summed statistics.
+func TestForestStealMatchesStatic(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	kern := copyAdapter(testKernel(4))
+	const rcut = 2.0
+	// Clustered distribution: most particles in one slab so the static split
+	// is badly imbalanced — the case the stealing dispatch exists for.
+	n := 900
+	x := make([]float32, n)
+	y := make([]float32, n)
+	z := make([]float32, n)
+	for i := range x {
+		if i < 700 {
+			x[i] = rng.Float32() * 3
+		} else {
+			x[i] = rng.Float32() * 20
+		}
+		y[i] = rng.Float32() * 20
+		z[i] = rng.Float32() * 20
+	}
+
+	f0 := BuildForest(x, y, z, 16, 3, rcut)
+	f0.ComputeForcesRanges(kern, rcut, 3)
+	ax0 := make([]float32, n)
+	ay0 := make([]float32, n)
+	az0 := make([]float32, n)
+	f0.AccelInto(ax0, ay0, az0)
+	inter0, visit0, nbr0 := f0.Interactions(), f0.NodesVisited(), f0.NeighborCount()
+
+	for _, workers := range []int{1, 2, 4} {
+		f1 := BuildForest(x, y, z, 16, 3, rcut)
+		f1.ComputeForcesStealRanges(kern, rcut, par.NewPool(workers))
+		if f1.Interactions() != inter0 || f1.NodesVisited() != visit0 || f1.NeighborCount() != nbr0 {
+			t.Fatalf("workers=%d: stats (%d,%d,%d) differ from static (%d,%d,%d)",
+				workers, f1.Interactions(), f1.NodesVisited(), f1.NeighborCount(), inter0, visit0, nbr0)
+		}
+		ax1 := make([]float32, n)
+		ay1 := make([]float32, n)
+		az1 := make([]float32, n)
+		f1.AccelInto(ax1, ay1, az1)
+		for i := range ax0 {
+			if math.Float32bits(ax1[i]) != math.Float32bits(ax0[i]) ||
+				math.Float32bits(ay1[i]) != math.Float32bits(ay0[i]) ||
+				math.Float32bits(az1[i]) != math.Float32bits(az0[i]) {
+				t.Fatalf("workers=%d: particle %d differs: (%v %v %v) vs (%v %v %v)",
+					workers, i, ax1[i], ay1[i], az1[i], ax0[i], ay0[i], az0[i])
+			}
+		}
+	}
+}
+
+// TestForestStealEmpty covers the zero-particle and empty-tree paths.
+func TestForestStealEmpty(t *testing.T) {
+	f := NewForest(16, 3, 2)
+	f.Rebuild(nil, nil, nil)
+	if stolen := f.ComputeForcesStealRanges(copyAdapter(testKernel(4)), 2, par.NewPool(3)); stolen != 0 {
+		t.Fatalf("empty forest stole %d leaves", stolen)
+	}
+}
