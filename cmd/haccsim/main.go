@@ -30,17 +30,30 @@
 //
 //	haccsim -ranks 8 -np 24 -box 192 -zinit 3 -zfinal 1 -steps 6 \
 //	        -ic halo -rebalance 1.1 -steal
+//
+// Multi-process execution: -par N spawns N OS processes, one rank each,
+// connected through the mpi wire transport (-transport tcp|unix|auto; rank 0
+// doubles as the rendezvous point). The parent supervises the worker
+// processes: a dead or wedged rank tears the world down and, with
+// checkpoints configured, the world restarts from the newest restorable one
+// — the same recovery loop as the in-process supervisor, across a real
+// process boundary:
+//
+//	haccsim -par 4 -transport tcp -np 32 -steps 8 \
+//	        -ckpt-dir ckpt -ckpt-every 2 -max-restarts 3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"hacc/internal/core"
 	"hacc/internal/cosmology"
 	"hacc/internal/fault"
+	"hacc/internal/machine"
 	"hacc/internal/mpi"
 )
 
@@ -85,12 +98,17 @@ func main() {
 		rebalance   = flag.Float64("rebalance", 0, "cost-driven rebalancing: smoothed max/mean work threshold > 1 (0 = static decomposition)")
 		rebMinSteps = flag.Int("rebalance-min-steps", 0, "minimum steps between rebalances (default 2)")
 		steal       = flag.Bool("steal", false, "deque-based intra-rank leaf stealing for tree walks (bitwise-neutral)")
+		par         = flag.Int("par", 0, "spawn N OS processes, one wire-transport rank each (0 = in-process goroutine ranks)")
+		transport   = flag.String("transport", "auto", "wire socket family under -par: tcp|unix|auto")
 	)
 	flag.Parse()
 	if err := validateFlags(*ranks, *np, *ng, *box, *zInit, *zFinal, *steps, *nc,
 		*threads, *pkBins, *solver, *transfer, *ckptDir, *ckptEvery, *restart,
-		*maxRestarts, *opTimeout, *deadline, *faultSpec); err != nil {
+		*maxRestarts, *opTimeout, *deadline, *faultSpec, *par, *transport); err != nil {
 		log.Fatal(err)
+	}
+	if *par > 0 && !mpi.WireChild() {
+		*ranks = *par
 	}
 
 	// explicit records which flags the user actually set, so a restart
@@ -160,13 +178,32 @@ func main() {
 		}
 	}
 
-	if *faultSpec != "" {
+	if *faultSpec != "" && *par == 0 && !mpi.WireChild() {
+		// Under -par the spec travels to the rank processes via argv; the
+		// parent itself runs no physics.
 		fault.Arm(fault.MustParse(*faultSpec))
 		defer fault.Disarm()
 		log.Printf("fault injector armed: %s", *faultSpec)
 	}
 
 	start := time.Now()
+	if mpi.WireChild() {
+		// This process is one rank of a wire world spawned by -par (or
+		// haccmux): join via the env contract and exit through the
+		// supervisor's exit-code protocol.
+		if *faultSpec != "" && os.Getenv(core.EnvResume) == "" {
+			// Injected faults fire on the first attempt only; a resumed
+			// attempt must run clean or recovery would loop forever.
+			fault.Arm(fault.MustParse(*faultSpec))
+			log.Printf("fault injector armed: %s", *faultSpec)
+		}
+		runWireChild(cfg, stepDir, mutate, *opTimeout, *pkBins, *snapPath, start)
+		return // unreachable: runWireChild exits
+	}
+	if *par > 0 {
+		runProcParent(*par, *transport, *maxRestarts, *deadline, *ckptDir, stepDir)
+		return
+	}
 	if *maxRestarts >= 0 {
 		// Supervised: the supervisor owns world construction and recovery.
 		opts := core.SupervisorOptions{
@@ -217,6 +254,94 @@ func main() {
 	}
 }
 
+// runWireChild is the rank-process body: join the wire world from the
+// launcher environment, build or restore the Simulation, drive the shared
+// run body, and exit through the supervisor's exit-code protocol so the
+// parent can classify any failure without parsing output.
+func runWireChild(cfg core.Config, stepDir string, mutate func(*core.Config),
+	opTimeout time.Duration, pkBins int, snapPath string, start time.Time) {
+	// A recovery attempt resumes from the checkpoint the supervisor picked,
+	// overriding any -restart the original command line carried.
+	if dir := os.Getenv(core.EnvResume); dir != "" {
+		stepDir = dir
+	}
+	w, err := mpi.ConnectEnv()
+	if err != nil {
+		log.Print(err)
+		os.Exit(core.ExitPanic)
+	}
+	if opTimeout > 0 {
+		w.SetTimeout(opTimeout)
+	}
+	err = w.Run(func(c *mpi.Comm) {
+		var s *core.Simulation
+		var err error
+		if stepDir != "" {
+			s, err = core.Restore(c, stepDir, mutate)
+			if err != nil {
+				panic(core.MarkRestoreFailure(stepDir, err))
+			}
+		} else {
+			s, err = core.New(c, cfg)
+			if err != nil {
+				panic(err)
+			}
+		}
+		if err := drive(s, c.Size(), pkBins, snapPath, start); err != nil {
+			panic(err)
+		}
+	})
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Printf("rank %s: %v", os.Getenv(mpi.EnvRank), err)
+	}
+	os.Exit(core.ExitCodeFor(err))
+}
+
+// runProcParent spawns and supervises par rank processes (re-execing this
+// binary with the identical command line; the children detect wire mode from
+// the environment). Failures recover from the newest restorable checkpoint,
+// exactly as the in-process supervisor does.
+func runProcParent(par int, transport string, maxRestarts int, deadline time.Duration,
+	ckptDir, stepDir string) {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatalf("-par: cannot re-exec: %v", err)
+	}
+	// Report the modeled torus placement: ranks map row-major onto the BG/Q
+	// rack wiring, the layout the paper's comm-pattern estimates assume.
+	torus := machine.RackTorus()
+	for r := 0; r < par; r++ {
+		log.Printf("torus map: rank %d -> node %v", r, torus.Coords(r))
+	}
+	restarts := maxRestarts
+	if restarts <= 0 {
+		restarts = -1 // supervised spawn + classification, no retry
+	}
+	rep, err := core.SuperviseProcs(core.ProcOptions{
+		Ranks:          par,
+		Transport:      transport,
+		Command:        append([]string{exe}, os.Args[1:]...),
+		MaxRestarts:    restarts,
+		AttemptTimeout: deadline,
+		CheckpointRoot: ckptDir,
+		ResumeFrom:     stepDir,
+		Log:            func(line string) { log.Print(line) },
+	})
+	for _, inc := range rep.Incidents {
+		log.Printf("incident: attempt %d failed (%s); resumed from %q after %v",
+			inc.Attempt, inc.Class, inc.Resume, inc.Backoff)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.Restarts > 0 {
+		log.Printf("run completed after %d restart(s)", rep.Restarts)
+	}
+}
+
 // drive runs the remaining schedule on one rank's Simulation and reports
 // the final science and performance summary. It is the body shared by the
 // plain and supervised paths, so a restarted attempt replays exactly the
@@ -263,6 +388,15 @@ func drive(s *core.Simulation, ranks, pkBins int, snapPath string, start time.Ti
 			fmt.Printf("balance: %d rebalances, %d stolen leaves, final max/mean %.2f\n",
 				gc.Rebalances, gc.StolenLeaves, s.Imbalance())
 		}
+		if gc.MsgsSent > 0 {
+			fmt.Printf("communication: %d msgs, %.1f MB payload", gc.MsgsSent, float64(gc.BytesSent)/(1<<20))
+			if gc.WireMsgs > 0 {
+				fmt.Printf(" (%d over the wire: %.1f MB + %.1f MB framing)",
+					gc.WireMsgs, float64(gc.WireBytes)/(1<<20),
+					float64(gc.WireMsgs*mpi.FrameHeaderSize)/(1<<20))
+			}
+			fmt.Println()
+		}
 		for _, p := range s.Timers.Fractions() {
 			fmt.Printf("  %-10s %5.1f%%\n", p.Name, 100*p.Fraction)
 		}
@@ -287,10 +421,13 @@ func drive(s *core.Simulation, ranks, pkBins int, snapPath string, start time.Ti
 // before any world is spun up, instead of panicking ranks mid-run.
 func validateFlags(ranks, np, ng int, box, zInit, zFinal float64, steps, nc,
 	threads, pkBins int, solver, transfer, ckptDir string, ckptEvery int, restart string,
-	maxRestarts int, opTimeout, deadline time.Duration, faultSpec string) error {
+	maxRestarts int, opTimeout, deadline time.Duration, faultSpec string,
+	par int, transport string) error {
 	switch {
 	case ranks < 1:
 		return fmt.Errorf("-ranks %d must be ≥1", ranks)
+	case par < 0:
+		return fmt.Errorf("-par %d must be ≥0 (0 = in-process ranks)", par)
 	case threads < 1:
 		return fmt.Errorf("-threads %d must be ≥1", threads)
 	case pkBins < 1:
@@ -303,12 +440,17 @@ func validateFlags(ranks, np, ng int, box, zInit, zFinal float64, steps, nc,
 		return fmt.Errorf("-ckpt-dir %s needs -ckpt-every ≥1", ckptDir)
 	case maxRestarts < -1:
 		return fmt.Errorf("-max-restarts %d must be ≥-1 (-1 = unsupervised)", maxRestarts)
-	case maxRestarts < 0 && opTimeout != 0:
-		return fmt.Errorf("-op-timeout needs -max-restarts (hang detection is a supervisor feature)")
-	case maxRestarts < 0 && deadline != 0:
-		return fmt.Errorf("-deadline needs -max-restarts")
+	case maxRestarts < 0 && par == 0 && opTimeout != 0:
+		return fmt.Errorf("-op-timeout needs -max-restarts or -par (hang detection is a supervisor feature)")
+	case maxRestarts < 0 && par == 0 && deadline != 0:
+		return fmt.Errorf("-deadline needs -max-restarts or -par")
 	case opTimeout < 0 || deadline < 0:
 		return fmt.Errorf("timeouts must be ≥0")
+	}
+	switch transport {
+	case "tcp", "unix", "auto":
+	default:
+		return fmt.Errorf("unknown -transport %q (want tcp|unix|auto)", transport)
 	}
 	if faultSpec != "" {
 		if _, err := fault.Parse(faultSpec); err != nil {

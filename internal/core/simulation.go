@@ -733,10 +733,15 @@ func (s *Simulation) DensityStats() analysis.DensityStats {
 	}
 }
 
-// GlobalCounters reduces the per-rank counters across the communicator.
+// GlobalCounters reduces the per-rank counters across the communicator. The
+// communication totals come from each rank's own Comm.Stats() slot and merge
+// through the same collective — never by reading peers' memory, which does
+// not exist when ranks are separate OS processes on a wire transport.
 func (s *Simulation) GlobalCounters() machine.Counters {
+	cs := s.Comm.Stats()
 	vals := []int64{s.Counters.KernelInteractions, s.Counters.FFT3D, s.Counters.CICOps,
-		s.Counters.WalkNodes, s.Counters.StolenLeaves}
+		s.Counters.WalkNodes, s.Counters.StolenLeaves,
+		cs.Msgs, cs.Bytes, cs.WireMsgs, cs.WireBytes}
 	tot := mpi.AllReduce(s.Comm, vals, mpi.SumI64)
 	return machine.Counters{
 		KernelInteractions: tot[0],
@@ -745,6 +750,10 @@ func (s *Simulation) GlobalCounters() machine.Counters {
 		CICOps:             tot[2],
 		WalkNodes:          tot[3],
 		StolenLeaves:       tot[4],
+		MsgsSent:           tot[5],
+		BytesSent:          tot[6],
+		WireMsgs:           tot[7],
+		WireBytes:          tot[8],
 		// Collective events, identical on every rank: kept, not summed.
 		Restarts:        s.Counters.Restarts,
 		CkptRetries:     s.Counters.CkptRetries,

@@ -69,15 +69,75 @@ func benchExchange(b *testing.B, ranks int, dense bool) {
 	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
 }
 
+// benchExchangeWire measures the same warm Migrate+Refresh round with the
+// ranks connected through real sockets (loopback wire transport): the
+// message column must stay at the stencil count — the wire changes framing
+// and copies, never the communication pattern — and the extra columns report
+// what the sockets actually carried.
+func benchExchangeWire(b *testing.B, ranks int, transport string) {
+	n := [3]int{16, 16, 16}
+	b.ReportAllocs()
+	var msgs, wireBytes int64
+	err := mpi.RunWire(ranks, mpi.WireOptions{Transport: transport}, func(c *mpi.Comm) {
+		dec := grid.NewDecomp(n, ranks)
+		d := New(c, dec, 2.5)
+		scatterLattice(d, 16, n)
+		rng := rand.New(rand.NewSource(int64(c.Rank() + 1)))
+		jiggle := func() {
+			for i := 0; i < d.Active.Len(); i++ {
+				d.Active.X[i] += float32(rng.NormFloat64() * 0.3)
+				d.Active.Y[i] += float32(rng.NormFloat64() * 0.3)
+				d.Active.Z[i] += float32(rng.NormFloat64() * 0.3)
+			}
+		}
+		jiggle()
+		d.Migrate()
+		d.Refresh()
+		mpi.Barrier(c)
+		start := c.Stats()
+		if c.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			jiggle()
+			d.Migrate()
+			d.Refresh()
+		}
+		mpi.Barrier(c)
+		end := c.Stats()
+		// Per-rank deltas fold into global totals collectively — the stats
+		// are per-process in a wire world, never shared memory.
+		tot := mpi.AllReduce(c, []int64{end.WireMsgs - start.WireMsgs, end.WireBytes - start.WireBytes}, mpi.SumI64)
+		if c.Rank() == 0 {
+			msgs, wireBytes = tot[0], tot[1]
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Subtract the closing barrier (as in benchExchange).
+	logp := 0
+	for q := 1; q < ranks; q *= 2 {
+		logp++
+	}
+	msgs -= int64(ranks * logp)
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+	b.ReportMetric(float64(wireBytes)/float64(b.N), "wireB/op")
+	b.ReportMetric(float64(msgs*mpi.FrameHeaderSize)/float64(b.N), "frameB/op")
+}
+
 // BenchmarkMigrateRefresh pins the warm planned exchange: on one rank it
 // must report 0 allocs/op (all state plan-owned; multi-rank runs add only
 // the mpi runtime's per-message copies, which model the network), and the
 // planned message column must sit at the stencil count while the dense
-// oracle scales O(P²).
+// oracle scales O(P²). The wire rows run the identical exchange over real
+// loopback sockets: same msgs/op, plus honest byte and framing columns.
 func BenchmarkMigrateRefresh(b *testing.B) {
 	b.Run("planned/ranks1", func(b *testing.B) { benchExchange(b, 1, false) })
 	b.Run("planned/ranks4", func(b *testing.B) { benchExchange(b, 4, false) })
 	b.Run("planned/ranks8", func(b *testing.B) { benchExchange(b, 8, false) })
 	b.Run("dense/ranks4", func(b *testing.B) { benchExchange(b, 4, true) })
 	b.Run("dense/ranks8", func(b *testing.B) { benchExchange(b, 8, true) })
+	b.Run("wire-tcp/ranks4", func(b *testing.B) { benchExchangeWire(b, 4, "tcp") })
+	b.Run("wire-unix/ranks4", func(b *testing.B) { benchExchangeWire(b, 4, "unix") })
 }

@@ -1,0 +1,68 @@
+package domain
+
+// Byte/message accounting for the planned exchange over a real socket
+// transport (ISSUE 9): the 26-stencil property must survive the wire — one
+// framed message per leg per collective, so a Migrate+Refresh round costs at
+// most 2·26 messages per rank (≤ 26·P per collective globally), with the
+// frame overhead an exact, derived quantity rather than an estimate.
+
+import (
+	"testing"
+	"time"
+
+	"hacc/internal/grid"
+	"hacc/internal/mpi"
+)
+
+func TestWireExchangeMessageBudget(t *testing.T) {
+	const ranks = 4
+	n := [3]int{16, 16, 16}
+	err := mpi.RunWire(ranks, mpi.WireOptions{Transport: "tcp", Timeout: 60 * time.Second},
+		func(c *mpi.Comm) {
+			dec := grid.NewDecomp(n, ranks)
+			d := New(c, dec, 2.5)
+			scatterLattice(d, 16, n)
+			// Warm round so the measured one is the steady-state path.
+			d.Migrate()
+			d.Refresh()
+			mpi.Barrier(c)
+			before := c.Stats()
+			d.Migrate()
+			d.Refresh()
+			st := c.Stats()
+
+			legs := d.Plan().NumLegs()
+			if legs > 26 {
+				t.Errorf("rank %d: %d neighbor legs exceed the 26-stencil", c.Rank(), legs)
+			}
+			msgs := st.Msgs - before.Msgs
+			wire := st.WireMsgs - before.WireMsgs
+			bytes := st.WireBytes - before.WireBytes
+			// One packed message per leg per collective, two collectives.
+			if want := int64(2 * legs); msgs != want {
+				t.Errorf("rank %d: Migrate+Refresh sent %d messages, want exactly %d (2 collectives × %d legs)",
+					c.Rank(), msgs, want, legs)
+			}
+			// Every rank lives in its own world here: every message crosses a
+			// socket, so the wire counters must match the logical ones.
+			if wire != msgs {
+				t.Errorf("rank %d: %d of %d messages crossed the wire", c.Rank(), wire, msgs)
+			}
+			if bytes <= 0 {
+				t.Errorf("rank %d: no wire payload counted for the exchange", c.Rank())
+			}
+			// Frame overhead is derived, not sampled: exactly one fixed-size
+			// header per wire message. Pin the ratio so the framing cost of
+			// the exchange stays a rounding error next to the payload.
+			overhead := wire * mpi.FrameHeaderSize
+			if overhead >= bytes {
+				t.Errorf("rank %d: framing overhead %dB exceeds payload %dB — messages too fine-grained",
+					c.Rank(), overhead, bytes)
+			}
+			t.Logf("rank %d: %d legs, %d msgs, %dB payload + %dB framing (%.2f%%)",
+				c.Rank(), legs, msgs, bytes, overhead, 100*float64(overhead)/float64(bytes))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

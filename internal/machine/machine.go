@@ -64,6 +64,19 @@ type Counters struct {
 	WalkNodes    int64
 	Rebalances   int64
 	StolenLeaves int64
+
+	// Communication accounting (PR 9). Per-rank message/byte totals from the
+	// mpi runtime, merged across ranks via a collective at report time —
+	// never through shared memory, since ranks may live in different OS
+	// processes. MsgsSent/BytesSent count every logical mpi message and its
+	// payload bytes; WireMsgs/WireBytes are the subset that actually crossed
+	// a socket (framing overhead is derived from WireMsgs, not counted
+	// here). Session metrics, not flop sources: excluded from Encode/Decode
+	// (checkpoints) and from Flops.
+	MsgsSent  int64
+	BytesSent int64
+	WireMsgs  int64
+	WireBytes int64
 }
 
 // Flops converts the counters to a total flop count under the model.
@@ -87,6 +100,10 @@ func (c *Counters) Add(o Counters) {
 	c.WalkNodes += o.WalkNodes
 	c.Rebalances += o.Rebalances
 	c.StolenLeaves += o.StolenLeaves
+	c.MsgsSent += o.MsgsSent
+	c.BytesSent += o.BytesSent
+	c.WireMsgs += o.WireMsgs
+	c.WireBytes += o.WireBytes
 }
 
 // CounterWords is the number of int64 words Encode packs — the per-rank

@@ -1,0 +1,411 @@
+package mpi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// WireOptions configures a wire-transport world (see Connect).
+type WireOptions struct {
+	// Transport selects the socket family: "tcp", "unix", or "auto" (the
+	// default) — unix sockets between ranks on the same host, TCP otherwise.
+	Transport string
+	// Rendezvous is the bootstrap address: a filesystem path on which rank 0
+	// listens (unix socket) and every other rank dials to exchange the
+	// address table. The launcher chooses it, so there are no port races.
+	// Required.
+	Rendezvous string
+	// Dir is the directory for this rank's own unix data socket; defaults to
+	// the rendezvous directory.
+	Dir string
+	// Host is the interface TCP data listeners bind and advertise; defaults
+	// to 127.0.0.1 (single-host loopback).
+	Host string
+	// Timeout bounds the whole bootstrap (rendezvous dial retries included)
+	// and the graceful-close handshake. Defaults to 30s.
+	Timeout time.Duration
+}
+
+func (o *WireOptions) fill() error {
+	switch o.Transport {
+	case "", "auto":
+		o.Transport = "auto"
+	case "tcp", "unix":
+	default:
+		return fmt.Errorf("mpi: unknown transport %q (want tcp, unix, or auto)", o.Transport)
+	}
+	if o.Rendezvous == "" {
+		return errors.New("mpi: WireOptions.Rendezvous is required")
+	}
+	if o.Dir == "" {
+		o.Dir = filepath.Dir(o.Rendezvous)
+	}
+	if o.Host == "" {
+		o.Host = "127.0.0.1"
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return nil
+}
+
+// helloMsg is the JSON record a rank sends to the rendezvous point; the
+// reply is the full table, indexed by rank.
+type helloMsg struct {
+	Rank int    `json:"rank"`
+	TCP  string `json:"tcp,omitempty"`
+	Unix string `json:"unix,omitempty"`
+	Host string `json:"host"`
+}
+
+// Connect joins a wire-transport world of the given size as the given rank
+// and returns once a connection to every peer is established. Rank 0 serves
+// the rendezvous: every rank sends its data-socket addresses there and
+// receives the full table, then rank r dials every rank q < r (so each pair
+// shares exactly one full-duplex connection). Ranks on the same host use a
+// unix-socket fast path unless Transport forces TCP. The returned World runs
+// exactly one local rank; Run(fn) executes fn for it, and every mpi
+// operation — point-to-point, the collectives, AllOK, abort and timeout
+// propagation — behaves as in the inproc world. Callers must Close the
+// world when done.
+func Connect(size, rank int, opt WireOptions) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: world size must be positive, got %d", size)
+	}
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, size)
+	}
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	hostname, err := os.Hostname()
+	if err != nil {
+		hostname = "localhost"
+	}
+
+	w := &World{size: size, abortCh: make(chan struct{})}
+	w.boxes = make([]*mailbox, size)
+	w.boxes[rank] = newMailbox(rank)
+	w.local = []int{rank}
+	w.sent = make([]commStat, size)
+	t := &wireTransport{w: w, self: rank, size: size, opt: opt}
+	t.cond = sync.NewCond(&t.mu)
+	t.conns = make([]*peerConn, size)
+	w.tr = t
+
+	fail := func(err error) (*World, error) {
+		if t.lnTCP != nil {
+			t.lnTCP.Close()
+		}
+		if t.lnUnix != nil {
+			t.lnUnix.Close()
+		}
+		for _, pc := range t.conns {
+			if pc != nil {
+				pc.conn.Close()
+			}
+		}
+		return nil, err
+	}
+
+	// Data listeners come up before the rendezvous so the advertised
+	// addresses are live the moment any peer learns them.
+	me := helloMsg{Rank: rank, Host: hostname}
+	if opt.Transport != "tcp" {
+		ln, err := net.Listen("unix", filepath.Join(opt.Dir, fmt.Sprintf("hacc-rank-%d.sock", rank)))
+		if err != nil {
+			return fail(fmt.Errorf("mpi: rank %d: unix data listener: %w", rank, err))
+		}
+		t.lnUnix = ln
+		me.Unix = ln.Addr().String()
+	}
+	if opt.Transport != "unix" {
+		ln, err := net.Listen("tcp", net.JoinHostPort(opt.Host, "0"))
+		if err != nil {
+			return fail(fmt.Errorf("mpi: rank %d: tcp data listener: %w", rank, err))
+		}
+		t.lnTCP = ln
+		me.TCP = ln.Addr().String()
+	}
+
+	peers, err := rendezvous(size, rank, opt, me)
+	if err != nil {
+		return fail(fmt.Errorf("mpi: rank %d: rendezvous: %w", rank, err))
+	}
+	t.peers = peers
+
+	for _, ln := range []net.Listener{t.lnTCP, t.lnUnix} {
+		if ln == nil {
+			continue
+		}
+		t.wg.Add(1)
+		go t.acceptLoop(ln)
+	}
+
+	// Dial every lower rank; higher ranks dial us.
+	deadline := time.Now().Add(opt.Timeout)
+	for q := 0; q < rank; q++ {
+		conn, err := dialPeer(peers[q], opt, hostname, deadline)
+		if err != nil {
+			return fail(fmt.Errorf("mpi: rank %d: dial rank %d: %w", rank, q, err))
+		}
+		pc, err := t.register(q, conn)
+		if err != nil {
+			conn.Close()
+			return fail(err)
+		}
+		if err := pc.writeFrame(frameHeader{kind: frameHello, src: int64(rank)}, nil); err != nil {
+			return fail(fmt.Errorf("mpi: rank %d: hello to rank %d: %w", rank, q, err))
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.readLoop(pc, newFrameReader(conn))
+		}()
+	}
+
+	// Wait for the higher ranks to dial in.
+	alarm := time.AfterFunc(time.Until(deadline), t.cond.Broadcast)
+	t.mu.Lock()
+	for t.ready < size-1 && time.Now().Before(deadline) && t.err == nil {
+		t.cond.Wait()
+	}
+	ready, terr := t.ready, t.err
+	t.mu.Unlock()
+	alarm.Stop()
+	if terr != nil {
+		return fail(terr)
+	}
+	if ready < size-1 {
+		return fail(fmt.Errorf("mpi: rank %d: bootstrap timeout: %d of %d peers connected after %v",
+			rank, ready, size-1, opt.Timeout))
+	}
+	return w, nil
+}
+
+// acceptLoop registers inbound data connections. The dialer's first frame is
+// a hello naming its rank; the same buffered reader then carries the
+// connection's data frames, so nothing read ahead is lost in the handoff.
+func (t *wireTransport) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed in teardown
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			br := newFrameReader(conn)
+			h, _, err := readFrame(br)
+			if err != nil || h.kind != frameHello {
+				conn.Close()
+				return
+			}
+			pc, err := t.register(int(h.src), conn)
+			if err != nil {
+				conn.Close()
+				t.mu.Lock()
+				if t.err == nil {
+					t.err = err
+				}
+				t.mu.Unlock()
+				t.cond.Broadcast()
+				return
+			}
+			t.readLoop(pc, br)
+		}()
+	}
+}
+
+// dialPeer opens the data connection to one peer, preferring the unix
+// fast path for co-located ranks.
+func dialPeer(p helloMsg, opt WireOptions, hostname string, deadline time.Time) (net.Conn, error) {
+	network, addr := "tcp", p.TCP
+	if opt.Transport == "unix" || (opt.Transport == "auto" && p.Unix != "" && p.Host == hostname) {
+		network, addr = "unix", p.Unix
+	}
+	if addr == "" {
+		return nil, fmt.Errorf("no %s address advertised by rank %d on host %s", network, p.Rank, p.Host)
+	}
+	var lastErr error
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout(network, addr, time.Until(deadline))
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
+// rendezvous exchanges the address table through rank 0: every other rank
+// dials the rendezvous socket (retrying while rank 0 comes up), sends its
+// hello, and blocks until rank 0 has heard from everyone and replies with
+// the full table.
+func rendezvous(size, rank int, opt WireOptions, me helloMsg) ([]helloMsg, error) {
+	deadline := time.Now().Add(opt.Timeout)
+	if rank == 0 {
+		ln, err := net.Listen("unix", opt.Rendezvous)
+		if err != nil {
+			return nil, err
+		}
+		defer ln.Close()
+		peers := make([]helloMsg, size)
+		peers[0] = me
+		conns := make([]net.Conn, 0, size-1)
+		defer func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		}()
+		for n := 1; n < size; n++ {
+			if d := time.Until(deadline); d > 0 {
+				if tl, ok := ln.(*net.UnixListener); ok {
+					tl.SetDeadline(time.Now().Add(d))
+				}
+			} else {
+				return nil, fmt.Errorf("timed out waiting for %d more ranks", size-n)
+			}
+			conn, err := ln.Accept()
+			if err != nil {
+				return nil, fmt.Errorf("accept (have %d of %d ranks): %w", n-1, size-1, err)
+			}
+			var h helloMsg
+			if err := json.NewDecoder(conn).Decode(&h); err != nil {
+				return nil, fmt.Errorf("bad hello: %w", err)
+			}
+			if h.Rank <= 0 || h.Rank >= size || peers[h.Rank].Host != "" {
+				return nil, fmt.Errorf("bad or duplicate hello for rank %d", h.Rank)
+			}
+			peers[h.Rank] = h
+			conns = append(conns, conn)
+		}
+		for _, c := range conns {
+			if err := json.NewEncoder(c).Encode(peers); err != nil {
+				return nil, fmt.Errorf("table reply: %w", err)
+			}
+		}
+		return peers, nil
+	}
+
+	var conn net.Conn
+	var err error
+	for {
+		conn, err = net.DialTimeout("unix", opt.Rendezvous, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("dial rendezvous %s: %w", opt.Rendezvous, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer conn.Close()
+	conn.SetDeadline(deadline)
+	if err := json.NewEncoder(conn).Encode(me); err != nil {
+		return nil, fmt.Errorf("send hello: %w", err)
+	}
+	var peers []helloMsg
+	if err := json.NewDecoder(conn).Decode(&peers); err != nil {
+		return nil, fmt.Errorf("read table: %w", err)
+	}
+	if len(peers) != size {
+		return nil, fmt.Errorf("table has %d entries, want %d", len(peers), size)
+	}
+	return peers, nil
+}
+
+// Environment contract between a multi-process launcher and the rank
+// processes it spawns. The launcher (core.SuperviseProcs, haccmux) exports
+// these for each child; a child detects wire mode with WireChild and joins
+// the world with ConnectEnv.
+const (
+	EnvRank       = "HACC_WIRE_RANK"
+	EnvSize       = "HACC_WIRE_SIZE"
+	EnvRendezvous = "HACC_WIRE_RENDEZVOUS"
+	EnvTransport  = "HACC_WIRE_TRANSPORT"
+)
+
+// WireChild reports whether this process was spawned as one rank of a
+// multi-process wire world (the launcher env contract is present).
+func WireChild() bool { return os.Getenv(EnvRank) != "" }
+
+// ConnectEnv joins the wire world described by the launcher environment
+// (EnvRank, EnvSize, EnvRendezvous, EnvTransport) and returns this process's
+// single-rank World. Callers must Close it when done.
+func ConnectEnv() (*World, error) {
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return nil, fmt.Errorf("mpi: bad %s=%q: %w", EnvRank, os.Getenv(EnvRank), err)
+	}
+	size, err := strconv.Atoi(os.Getenv(EnvSize))
+	if err != nil {
+		return nil, fmt.Errorf("mpi: bad %s=%q: %w", EnvSize, os.Getenv(EnvSize), err)
+	}
+	rdv := os.Getenv(EnvRendezvous)
+	if rdv == "" {
+		return nil, fmt.Errorf("mpi: %s not set", EnvRendezvous)
+	}
+	return Connect(size, rank, WireOptions{
+		Transport:  os.Getenv(EnvTransport),
+		Rendezvous: rdv,
+	})
+}
+
+// RunWire runs fn on p ranks connected through the wire transport inside one
+// process: each rank gets its own World backed by real sockets, exercising
+// the full framing, bootstrap, and teardown path without spawning OS
+// processes. It is the loopback harness behind the transport-conformance
+// suite; `haccsim -par` runs the same code with one Connect per process.
+func RunWire(p int, opt WireOptions, fn func(c *Comm)) error {
+	if opt.Rendezvous == "" {
+		dir, err := os.MkdirTemp("", "hacc-wire")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		opt.Rendezvous = filepath.Join(dir, "rdv.sock")
+	}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			w, err := Connect(p, rank, opt)
+			if err != nil {
+				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+				return
+			}
+			defer w.Close()
+			errs[rank] = w.Run(fn)
+		}(r)
+	}
+	wg.Wait()
+	// Prefer the root cause: a rank that failed on its own over the
+	// *AbortError its peers observed while it went down.
+	var abortErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var ae *AbortError
+		if errors.As(err, &ae) {
+			if abortErr == nil {
+				abortErr = err
+			}
+			continue
+		}
+		return err
+	}
+	return abortErr
+}

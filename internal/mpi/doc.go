@@ -26,7 +26,22 @@
 // Send, receive, and collective entry points carry fault-injection hooks
 // (internal/fault) that cost one atomic load when no plan is armed.
 //
+// PR 9 added a real wire transport behind the same API. Connect/RunWire
+// build worlds whose ranks live in separate OS processes joined by TCP or
+// Unix-domain sockets: every remote message is one CRC-32C-protected frame
+// (FrameHeaderSize bytes of header + the payload's raw memory image),
+// matched on (communicator context, source, tag) with the same eager-send /
+// lazy-match / FIFO-per-envelope semantics as the mailbox, so the goroutine
+// world doubles as the bitwise oracle for the wire world. Rank 0 runs a
+// rendezvous over a Unix socket to exchange listener addresses; launchers
+// speak the EnvRank/EnvSize/EnvRendezvous/EnvTransport environment contract
+// (WireChild detects it, ConnectEnv consumes it). Abort, timeout, and
+// fault-injection behavior is transport-independent — a dead peer surfaces
+// as the same *AbortError the inproc path produces — and Comm.Stats exposes
+// per-process message/byte counters (wire and logical) for collective
+// merging at report time.
+//
 // HACC uses MPI for its long/medium-range force framework; this package is
 // the substitute substrate that lets the rest of the code run unmodified at
-// "scale" on a single machine.
+// "scale" on a single machine — and now across processes.
 package mpi

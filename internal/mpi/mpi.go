@@ -30,8 +30,9 @@ func (e *TimeoutError) Error() string {
 }
 
 // AbortError reports that the world was aborted — by a rank panicking, by an
-// explicit Comm.Abort, or by a Run deadline — while the failing operation was
-// blocked. Reason carries the cause recorded at abort time.
+// explicit Comm.Abort, by a Run deadline, or by a lost wire connection —
+// while the failing operation was blocked. Reason carries the cause recorded
+// at abort time.
 type AbortError struct {
 	Rank   int // rank that observed the abort (not necessarily the cause)
 	Src    int
@@ -59,7 +60,7 @@ type message struct {
 	ctx     int64
 	src     int
 	tag     int
-	payload any // a slice, owned by the receiver once delivered
+	payload any // a slice owned by the receiver, or a rawPayload off the wire
 }
 
 // mailbox holds pending messages destined for one rank.
@@ -154,47 +155,82 @@ func (m *mailbox) match(ctx int64, src, tag int) (message, bool) {
 	return message{}, false
 }
 
-// World is a set of ranks that can communicate. It owns the mailboxes and
-// the registry used to derive communicator contexts deterministically.
-type World struct {
-	size      int
-	boxes     []*mailbox
-	nextCtx   atomic.Int64
-	splitMu   sync.Mutex
-	splitCtxs map[splitKey]int64
-	aborted   atomic.Bool
-	abortCh   chan struct{}         // closed once on abort; wakes RunDeadline early
-	firstErr  atomic.Pointer[error] // first rank failure of the current Run
-	timeout   atomic.Int64          // per-blocking-op limit in nanoseconds; 0 = none
+// CommStats is one rank's point-to-point send accounting. Msgs and Bytes
+// count every send posted by the rank with exact payload bytes; WireMsgs and
+// WireBytes count the subset that crossed a socket to a remote process. The
+// on-wire framing overhead is deterministic — FrameHeaderSize bytes per wire
+// message — so total socket traffic is WireBytes + FrameHeaderSize·WireMsgs.
+type CommStats struct {
+	Msgs, Bytes, WireMsgs, WireBytes int64
+}
 
-	// Bytes moved through point-to-point sends, for bandwidth accounting.
+// Add accumulates another rank's statistics.
+func (s *CommStats) Add(o CommStats) {
+	s.Msgs += o.Msgs
+	s.Bytes += o.Bytes
+	s.WireMsgs += o.WireMsgs
+	s.WireBytes += o.WireBytes
+}
+
+// commStat is the internal per-rank counter slot. Each slot is written only
+// by its own rank's goroutine and read only by that goroutine (reports merge
+// slots collectively, each rank contributing its own), so plain fields are
+// safe — this is the single-writer discipline that also holds when ranks
+// live in different OS processes and share no memory at all. The padding
+// keeps neighboring ranks' slots off one cache line in the in-process world.
+type commStat struct {
+	st CommStats
+	_  [4]int64
+}
+
+// World is a set of ranks that can communicate. In the in-process (inproc)
+// transport every rank is a goroutine and every mailbox is local; behind a
+// wire transport (see Connect) exactly the local ranks have mailboxes and
+// remote ranks are reached through framed messages on sockets.
+type World struct {
+	size     int
+	boxes    []*mailbox // indexed by world rank; nil for ranks hosted remotely
+	local    []int      // world ranks hosted in this process
+	tr       *wireTransport
+	sent     []commStat // per-rank send accounting, indexed by world rank
+	aborted  atomic.Bool
+	abortCh  chan struct{}         // closed once on abort; wakes RunDeadline early
+	firstErr atomic.Pointer[error] // first rank failure of the current Run
+	timeout  atomic.Int64          // per-blocking-op limit in nanoseconds; 0 = none
+
+	// Bytes moved through point-to-point sends posted by local ranks, for
+	// bandwidth accounting. Process-local; see Comm.Stats for the per-rank
+	// single-writer counters that merge across processes.
 	BytesSent atomic.Int64
-	// Number of point-to-point messages.
+	// Number of point-to-point messages posted by local ranks.
 	MsgsSent atomic.Int64
 }
 
-type splitKey struct {
-	parentCtx int64
-	seq       int64
-	color     int
-}
-
-// NewWorld creates a world with the given number of ranks.
+// NewWorld creates a world with the given number of ranks, all hosted in
+// this process as goroutines (the inproc reference transport).
 func NewWorld(size int) *World {
 	if size <= 0 {
 		panic("mpi: world size must be positive")
 	}
-	w := &World{size: size, splitCtxs: make(map[splitKey]int64), abortCh: make(chan struct{})}
+	w := &World{size: size, abortCh: make(chan struct{})}
 	w.boxes = make([]*mailbox, size)
+	w.local = make([]int, size)
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox(i)
+		w.local[i] = i
 	}
-	w.nextCtx.Store(1) // ctx 0 is the world communicator
+	w.sent = make([]commStat, size)
 	return w
 }
 
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
+
+// Wire reports whether this world reaches any rank over a wire transport.
+func (w *World) Wire() bool { return w.tr != nil }
+
+// Local returns the world ranks hosted in this process.
+func (w *World) Local() []int { return w.local }
 
 // SetTimeout bounds every subsequent blocking operation (Recv, Wait,
 // collective legs) on this world: a wait that exceeds d fails with a
@@ -210,28 +246,46 @@ func (w *World) Timeout() time.Duration { return time.Duration(w.timeout.Load())
 // Aborted reports whether the world has been aborted.
 func (w *World) Aborted() bool { return w.aborted.Load() }
 
-// abortWith wakes all blocked receivers with an error carrying reason.
-func (w *World) abortWith(reason string) {
+// abortWith wakes all blocked receivers with an error carrying reason and,
+// over a wire transport, broadcasts the abort to every peer process so the
+// whole distributed world tears down with one consistent reason.
+func (w *World) abortWith(reason string) { w.abortInternal(reason, true) }
+
+// abortInternal is abortWith with control over wire propagation: aborts
+// received from the wire (an abort frame, a lost connection) are applied
+// locally only — every process observes the failure through its own
+// connections, so re-broadcasting would only echo.
+func (w *World) abortInternal(reason string, broadcast bool) {
 	if w.aborted.Swap(true) {
 		return
 	}
 	for _, b := range w.boxes {
-		b.abort(reason)
+		if b != nil {
+			b.abort(reason)
+		}
 	}
 	close(w.abortCh)
+	if w.tr != nil {
+		if broadcast {
+			w.tr.broadcastAbort(reason)
+		}
+		w.tr.wake()
+	}
 }
 
-// Run executes fn concurrently on every rank of the world and waits for all
-// ranks to finish. If any rank panics, the remaining ranks are aborted and
-// Run returns an error describing the first panic; panic values that are
-// errors (an injected fault.Crash, an *AbortError, a *TimeoutError) are
-// wrapped so callers can classify them with errors.As. Run may be called
-// again on the same world only if the previous call returned nil.
+// Run executes fn concurrently on every local rank of the world and waits
+// for them to finish. For an inproc world that is every rank; behind a wire
+// transport it is this process's rank. If any rank panics, the remaining
+// ranks are aborted and Run returns an error describing the first panic;
+// panic values that are errors (an injected fault.Crash, an *AbortError, a
+// *TimeoutError) are wrapped so callers can classify them with errors.As.
+// Run may be called again on the same world only if the previous call
+// returned nil.
 func (w *World) Run(fn func(c *Comm)) error {
 	var wg sync.WaitGroup
 	w.firstErr.Store(nil)
 	firstErr := &w.firstErr
-	for r := 0; r < w.size; r++ {
+	for _, r := range w.local {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
@@ -347,6 +401,14 @@ func (c *Comm) Size() int {
 // World returns the world this communicator belongs to.
 func (c *Comm) World() *World { return c.world }
 
+// Stats returns the calling rank's send accounting. Each rank owns its slot
+// (single-writer), so this is exact in every transport; merge across ranks
+// with a collective (see core's phase report) rather than by reading peers'
+// slots, which do not exist in a multi-process world.
+func (c *Comm) Stats() CommStats {
+	return c.world.sent[c.worldRank(c.rank)].st
+}
+
 // worldRank maps a communicator rank to the underlying world rank.
 func (c *Comm) worldRank(r int) int {
 	if c.ranks == nil {
@@ -371,17 +433,52 @@ func (c *Comm) Abort(reason string) {
 	panic(&AbortError{Rank: c.worldRank(c.rank), Src: AnySource, Tag: AnyTag, Reason: reason})
 }
 
-// send delivers payload (a slice that the receiver will own) to dst.
-func (c *Comm) send(dst, tag int, payload any, bytes int) {
-	c.checkRank(dst, "destination")
+// preSend runs the fault hook and accounting shared by the local and wire
+// send paths — injection verbs and counters behave identically on both. It
+// reports false when an armed Drop plan ate the message.
+func (c *Comm) preSend(bytes int, wire bool) bool {
 	if inj := fault.Armed(); inj != nil {
 		if inj.Hit(fault.PointSend, c.worldRank(c.rank), -1) == fault.Dropped {
-			return // message silently lost, as if the wire ate it
+			return false // message silently lost, as if the wire ate it
 		}
+	}
+	st := &c.world.sent[c.worldRank(c.rank)].st
+	st.Msgs++
+	st.Bytes += int64(bytes)
+	if wire {
+		st.WireMsgs++
+		st.WireBytes += int64(bytes)
 	}
 	c.world.BytesSent.Add(int64(bytes))
 	c.world.MsgsSent.Add(1)
+	return true
+}
+
+// send delivers payload (a slice that the receiver will own) to a dst whose
+// mailbox is local.
+func (c *Comm) send(dst, tag int, payload any, bytes int) {
+	c.checkRank(dst, "destination")
+	if !c.preSend(bytes, false) {
+		return
+	}
 	c.world.boxes[c.worldRank(dst)].put(message{ctx: c.ctx, src: c.rank, tag: tag, payload: payload})
+}
+
+// sendWire frames the raw memory image of the payload and writes it to the
+// connection for dst. The bytes are copied into the socket before returning,
+// so the caller's buffer is immediately reusable — wire sends keep the
+// eager-send contract. A dead connection aborts the world: the message can
+// never be delivered, so peers waiting on it must be woken.
+func (c *Comm) sendWire(dst, tag int, raw []byte, bytes int) {
+	c.checkRank(dst, "destination")
+	if !c.preSend(bytes, true) {
+		return
+	}
+	if err := c.world.tr.send(c.worldRank(dst), c.ctx, c.rank, tag, raw); err != nil {
+		reason := fmt.Sprintf("send to rank %d failed: %v", c.worldRank(dst), err)
+		c.world.abortWith(fmt.Sprintf("world aborted: rank %d: %s", c.worldRank(c.rank), reason))
+		panic(&AbortError{Rank: c.worldRank(c.rank), Src: AnySource, Tag: tag, Reason: reason})
+	}
 }
 
 // recv blocks until a matching message arrives and returns its payload.
@@ -402,21 +499,36 @@ func (c *Comm) recv(src, tag int) any {
 // Send copies buf and delivers it to rank dst with the given tag. It does
 // not block (sends are buffered, as with eager-protocol MPI messages).
 func Send[T any](c *Comm, dst, tag int, buf []T) {
-	cp := make([]T, len(buf))
-	copy(cp, buf)
-	c.send(dst, tag, cp, len(buf)*sizeOf[T]())
+	c.checkRank(dst, "destination")
+	n := len(buf) * sizeOf[T]()
+	if c.world.boxes[c.worldRank(dst)] != nil {
+		cp := make([]T, len(buf))
+		copy(cp, buf)
+		c.send(dst, tag, cp, n)
+		return
+	}
+	c.sendWire(dst, tag, asBytes(buf), n)
 }
 
 // SendMove delivers buf to rank dst without copying. The caller must not
 // touch buf afterwards. Used on large transfers (FFT transposes).
 func SendMove[T any](c *Comm, dst, tag int, buf []T) {
-	c.send(dst, tag, buf, len(buf)*sizeOf[T]())
+	c.checkRank(dst, "destination")
+	n := len(buf) * sizeOf[T]()
+	if c.world.boxes[c.worldRank(dst)] != nil {
+		c.send(dst, tag, buf, n)
+		return
+	}
+	c.sendWire(dst, tag, asBytes(buf), n)
 }
 
 // Recv blocks until a message with matching source and tag arrives and
 // returns its payload. src may be AnySource and tag may be AnyTag.
 func Recv[T any](c *Comm, src, tag int) []T {
 	p := c.recv(src, tag)
+	if raw, ok := p.(rawPayload); ok {
+		return decodeRaw[T](raw)
+	}
 	buf, ok := p.([]T)
 	if !ok {
 		panic(fmt.Sprintf("mpi: Recv type mismatch: got %T", p))
@@ -428,21 +540,6 @@ func Recv[T any](c *Comm, src, tag int) []T {
 func SendRecv[T any](c *Comm, dst, sendTag int, sendBuf []T, src, recvTag int) []T {
 	SendMove(c, dst, sendTag, append([]T(nil), sendBuf...))
 	return Recv[T](c, src, recvTag)
-}
-
-// sizeOf returns a rough element size for bandwidth accounting.
-func sizeOf[T any]() int {
-	var z T
-	switch any(z).(type) {
-	case float64, complex64, int64, uint64, int:
-		return 8
-	case complex128:
-		return 16
-	case float32, int32, uint32:
-		return 4
-	default:
-		return 8
-	}
 }
 
 // Split partitions the communicator into sub-communicators, one per distinct
@@ -478,16 +575,27 @@ func (c *Comm) Split(color, key int) *Comm {
 			newRank = i
 		}
 	}
-	// Agree on a context id via the world registry. All members observe the
-	// same (parentCtx, seq, color) so they all get the same new ctx.
-	w := c.world
-	w.splitMu.Lock()
-	k := splitKey{parentCtx: c.ctx, seq: seq, color: color}
-	ctx, ok := w.splitCtxs[k]
-	if !ok {
-		ctx = w.nextCtx.Add(1)
-		w.splitCtxs[k] = ctx
+	return &Comm{world: c.world, ctx: splitCtx(c.ctx, seq, color), rank: newRank, ranks: worldRanks}
+}
+
+// splitCtx derives a sub-communicator's context id from
+// (parent ctx, split sequence, color) with a splitmix64-style mixer. Every
+// member observes the same inputs, so all agree on the context with no extra
+// communication — and, unlike the shared registry this replaces, the
+// derivation holds across OS process boundaries, where ranks share no
+// memory. Distinct splits collide only with ~2^-64 probability per pair;
+// the zero context is reserved for the world communicator and remapped.
+func splitCtx(parent, seq int64, color int) int64 {
+	x := uint64(parent)*0x9e3779b97f4a7c15 +
+		uint64(seq)*0xbf58476d1ce4e5b9 +
+		uint64(color+1)*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
 	}
-	w.splitMu.Unlock()
-	return &Comm{world: w, ctx: ctx, rank: newRank, ranks: worldRanks}
+	return int64(x)
 }

@@ -1,344 +1,16 @@
 package mpi
 
+// The behavioral contract tests (point-to-point matching, collectives,
+// split) live in conformance_test.go, where they run against every
+// transport. This file keeps what is not transport-parametrizable: cart
+// topology math, randomized properties (kept on the fast inproc world), and
+// the legacy process-local world counters.
+
 import (
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
-
-func TestSendRecvBasic(t *testing.T) {
-	err := Run(2, func(c *Comm) {
-		if c.Rank() == 0 {
-			Send(c, 1, 7, []float64{1, 2, 3})
-		} else {
-			got := Recv[float64](c, 0, 7)
-			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
-				t.Errorf("got %v", got)
-			}
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestSendCopies(t *testing.T) {
-	err := Run(2, func(c *Comm) {
-		if c.Rank() == 0 {
-			buf := []int{1, 2, 3}
-			Send(c, 1, 0, buf)
-			buf[0] = 99 // must not affect receiver
-			Send(c, 1, 1, buf)
-		} else {
-			a := Recv[int](c, 0, 0)
-			b := Recv[int](c, 0, 1)
-			if a[0] != 1 {
-				t.Errorf("Send aliased the caller's buffer: %v", a)
-			}
-			if b[0] != 99 {
-				t.Errorf("second message wrong: %v", b)
-			}
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestTagMatching(t *testing.T) {
-	err := Run(2, func(c *Comm) {
-		if c.Rank() == 0 {
-			Send(c, 1, 5, []int{5})
-			Send(c, 1, 3, []int{3})
-		} else {
-			// Receive out of arrival order by tag.
-			three := Recv[int](c, 0, 3)
-			five := Recv[int](c, 0, 5)
-			if three[0] != 3 || five[0] != 5 {
-				t.Errorf("tag matching broken: %v %v", three, five)
-			}
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestAnySource(t *testing.T) {
-	err := Run(4, func(c *Comm) {
-		if c.Rank() != 0 {
-			Send(c, 0, 1, []int{c.Rank()})
-			return
-		}
-		seen := map[int]bool{}
-		for i := 0; i < 3; i++ {
-			v := Recv[int](c, AnySource, 1)
-			seen[v[0]] = true
-		}
-		if len(seen) != 3 {
-			t.Errorf("expected 3 distinct sources, got %v", seen)
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestPanicPropagates(t *testing.T) {
-	err := Run(3, func(c *Comm) {
-		if c.Rank() == 1 {
-			panic("boom")
-		}
-		// Other ranks block forever; abort must release them.
-		Recv[int](c, AnySource, 0)
-	})
-	if err == nil {
-		t.Fatal("expected error from panicking rank")
-	}
-}
-
-func TestBarrier(t *testing.T) {
-	for _, p := range []int{1, 2, 3, 5, 8} {
-		var counter [1]int64
-		err := Run(p, func(c *Comm) {
-			for iter := 0; iter < 3; iter++ {
-				Barrier(c)
-			}
-			_ = counter
-		})
-		if err != nil {
-			t.Fatalf("p=%d: %v", p, err)
-		}
-	}
-}
-
-func TestBcast(t *testing.T) {
-	for _, p := range []int{1, 2, 3, 4, 7, 8} {
-		for root := 0; root < p; root += 2 {
-			err := Run(p, func(c *Comm) {
-				var buf []int
-				if c.Rank() == root {
-					buf = []int{42, root}
-				}
-				got := Bcast(c, root, buf)
-				if got[0] != 42 || got[1] != root {
-					t.Errorf("p=%d root=%d rank=%d got %v", p, root, c.Rank(), got)
-				}
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-		}
-	}
-}
-
-func TestReduceAndAllReduce(t *testing.T) {
-	for _, p := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9} {
-		want := int64(p * (p - 1) / 2)
-		err := Run(p, func(c *Comm) {
-			buf := []int64{int64(c.Rank()), 1}
-			r := Reduce(c, 0, buf, SumI64)
-			if c.Rank() == 0 {
-				if r[0] != want || r[1] != int64(p) {
-					t.Errorf("p=%d Reduce got %v want [%d %d]", p, r, want, p)
-				}
-			} else if r != nil {
-				t.Errorf("non-root got non-nil reduce result")
-			}
-			a := AllReduce(c, buf, SumI64)
-			if a[0] != want || a[1] != int64(p) {
-				t.Errorf("p=%d rank=%d AllReduce got %v", p, c.Rank(), a)
-			}
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-	}
-}
-
-func TestAllReduceMinMax(t *testing.T) {
-	err := Run(5, func(c *Comm) {
-		v := float64(c.Rank()*c.Rank()) - 3
-		mx := AllReduce(c, []float64{v}, MaxF64)
-		mn := AllReduce(c, []float64{v}, MinF64)
-		if mx[0] != 13 || mn[0] != -3 {
-			t.Errorf("minmax wrong: %v %v", mx, mn)
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestGatherScatter(t *testing.T) {
-	for _, p := range []int{1, 3, 4, 6} {
-		err := Run(p, func(c *Comm) {
-			// Variable-length gather: rank r contributes r+1 copies of r.
-			buf := make([]int, c.Rank()+1)
-			for i := range buf {
-				buf[i] = c.Rank()
-			}
-			g := Gather(c, 0, buf)
-			if c.Rank() == 0 {
-				want := 0
-				for r := 0; r < p; r++ {
-					want += r + 1
-				}
-				if len(g) != want {
-					t.Errorf("gather length %d want %d", len(g), want)
-				}
-				idx := 0
-				for r := 0; r < p; r++ {
-					for i := 0; i <= r; i++ {
-						if g[idx] != r {
-							t.Errorf("gather[%d]=%d want %d", idx, g[idx], r)
-						}
-						idx++
-					}
-				}
-			}
-			// Scatter back.
-			var parts [][]int
-			if c.Rank() == 0 {
-				parts = make([][]int, p)
-				for r := range parts {
-					parts[r] = []int{r * 10}
-				}
-			}
-			s := Scatter(c, 0, parts)
-			if s[0] != c.Rank()*10 {
-				t.Errorf("scatter got %v", s)
-			}
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-	}
-}
-
-func TestAllGather(t *testing.T) {
-	err := Run(4, func(c *Comm) {
-		g := AllGather(c, []int{c.Rank() + 100})
-		for r := 0; r < 4; r++ {
-			if g[r] != r+100 {
-				t.Errorf("allgather[%d]=%d", r, g[r])
-			}
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestAllToAll(t *testing.T) {
-	for _, p := range []int{1, 2, 3, 5, 8} {
-		err := Run(p, func(c *Comm) {
-			me := c.Rank()
-			send := make([][]int, p)
-			for r := 0; r < p; r++ {
-				// Variable lengths: me+r elements of value me*100+r.
-				send[r] = make([]int, me+r)
-				for i := range send[r] {
-					send[r][i] = me*100 + r
-				}
-			}
-			got := AllToAll(c, send)
-			for r := 0; r < p; r++ {
-				if len(got[r]) != r+me {
-					t.Errorf("p=%d me=%d from %d: len %d want %d", p, me, r, len(got[r]), r+me)
-				}
-				for _, v := range got[r] {
-					if v != r*100+me {
-						t.Errorf("p=%d me=%d from %d: value %d", p, me, r, v)
-					}
-				}
-			}
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-	}
-}
-
-func TestSplit(t *testing.T) {
-	err := Run(6, func(c *Comm) {
-		// Split into evens and odds; key reverses order within odds.
-		color := c.Rank() % 2
-		key := c.Rank()
-		if color == 1 {
-			key = -c.Rank()
-		}
-		sub := c.Split(color, key)
-		if sub.Size() != 3 {
-			t.Errorf("sub size %d", sub.Size())
-		}
-		// Messages in sub must not leak into world context.
-		g := AllGather(sub, []int{c.Rank()})
-		if color == 0 {
-			if g[0] != 0 || g[1] != 2 || g[2] != 4 {
-				t.Errorf("even group order %v", g)
-			}
-		} else {
-			if g[0] != 5 || g[1] != 3 || g[2] != 1 {
-				t.Errorf("odd group order (reversed by key) %v", g)
-			}
-		}
-		// A second collective in the parent must still work.
-		sum := AllReduce(c, []int{1}, SumInt)
-		if sum[0] != 6 {
-			t.Errorf("parent allreduce after split: %v", sum)
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestSplitNegativeColor(t *testing.T) {
-	err := Run(4, func(c *Comm) {
-		color := 0
-		if c.Rank() == 3 {
-			color = -1
-		}
-		sub := c.Split(color, c.Rank())
-		if c.Rank() == 3 {
-			if sub != nil {
-				t.Error("negative color should return nil comm")
-			}
-			return
-		}
-		if sub.Size() != 3 {
-			t.Errorf("sub size %d", sub.Size())
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestNestedSplit(t *testing.T) {
-	// 8 ranks -> 2x2x2 cart; row and column comms must be independent.
-	err := Run(8, func(c *Comm) {
-		cart := NewCart(c, 2, 2, 2)
-		co := cart.MyCoords()
-		rows := cart.SubComm(0)
-		cols := cart.SubComm(2)
-		if rows.Size() != 2 || cols.Size() != 2 {
-			t.Fatalf("sub sizes %d %d", rows.Size(), cols.Size())
-		}
-		r := AllReduce(rows, []int{co[0]}, SumInt)
-		if r[0] != 1 { // coords 0+1 along dim 0
-			t.Errorf("row reduce %v", r)
-		}
-		z := AllReduce(cols, []int{co[2]}, SumInt)
-		if z[0] != 1 {
-			t.Errorf("col reduce %v", z)
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
 
 func TestCartCoordsRoundTrip(t *testing.T) {
 	cart := &Cart{Dims: []int{3, 4, 5}}
@@ -488,33 +160,27 @@ func TestWorldCounters(t *testing.T) {
 	}
 }
 
-func TestSendRecvExchange(t *testing.T) {
-	err := Run(2, func(c *Comm) {
-		me := c.Rank()
-		other := 1 - me
-		got := SendRecv(c, other, 3, []int{me * 10}, other, 3)
-		if got[0] != other*10 {
-			t.Errorf("rank %d received %d", me, got[0])
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestSendMoveDelivers(t *testing.T) {
-	err := Run(2, func(c *Comm) {
-		if c.Rank() == 0 {
-			buf := []float32{1, 2, 3}
-			SendMove(c, 1, 0, buf)
-		} else {
-			got := Recv[float32](c, 0, 0)
-			if len(got) != 3 || got[2] != 3 {
-				t.Errorf("got %v", got)
+// Split context derivation must be deterministic (it is computed
+// independently in every process of a wire world) and collision-free across
+// the split trees a real run produces.
+func TestSplitCtxDeterministic(t *testing.T) {
+	seen := map[int64][3]int64{}
+	for _, parent := range []int64{0, 1, -7, 1 << 40} {
+		for seq := int64(0); seq < 8; seq++ {
+			for color := 0; color < 8; color++ {
+				ctx := splitCtx(parent, seq, color)
+				if ctx2 := splitCtx(parent, seq, color); ctx2 != ctx {
+					t.Fatalf("splitCtx not deterministic: %d vs %d", ctx, ctx2)
+				}
+				if ctx == 0 {
+					t.Fatal("splitCtx produced the reserved world context 0")
+				}
+				key := [3]int64{parent, seq, int64(color)}
+				if prev, ok := seen[ctx]; ok && prev != key {
+					t.Fatalf("splitCtx collision: %v and %v -> %d", prev, key, ctx)
+				}
+				seen[ctx] = key
 			}
 		}
-	})
-	if err != nil {
-		t.Fatal(err)
 	}
 }

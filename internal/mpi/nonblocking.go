@@ -161,6 +161,9 @@ func Payload[T any](r *Request) []T {
 	if r.payload == nil {
 		return nil
 	}
+	if raw, ok := r.payload.(rawPayload); ok {
+		return decodeRaw[T](raw)
+	}
 	buf, ok := r.payload.([]T)
 	if !ok {
 		panic(fmt.Sprintf("mpi: Payload type mismatch: got %T", r.payload))

@@ -1,52 +1,21 @@
 package mpi
 
+// Failure-injection and deadline tests that exercise inproc-world internals
+// (process-global fault plans parked across ranks, RunDeadline's goroutine
+// abandonment, mailbox introspection). The transport-portable classification
+// contracts — abort reasons reaching peers, timeout errors, drop parity —
+// run against every transport in conformance_test.go.
+
 import (
 	"errors"
-	"strings"
 	"testing"
 	"time"
 
 	"hacc/internal/fault"
 )
 
-// Satellite regression (ISSUE 6): a rank panicking while its peers are
-// blocked in Irecv.Wait and Barrier must surface as an error from Run
-// within a bounded time — the recover path aborts the world and wakes
-// every parked waiter; it must not deadlock on the survivors.
-func TestAbortUnblocksPeersInWaitAndBarrier(t *testing.T) {
-	done := make(chan error, 1)
-	go func() {
-		done <- Run(4, func(c *Comm) {
-			switch c.Rank() {
-			case 0:
-				// Parked in a blocking nonblocking-wait for a message rank 1
-				// will never send.
-				r := Irecv(c, 1, 99)
-				r.Wait()
-			case 1:
-				time.Sleep(20 * time.Millisecond) // let peers park first
-				panic("simulated rank death")
-			default:
-				// Parked in a collective that can never complete.
-				Barrier(c)
-			}
-		})
-	}()
-	select {
-	case err := <-done:
-		if err == nil {
-			t.Fatal("Run returned nil despite a rank panic")
-		}
-		if !strings.Contains(err.Error(), "rank 1") {
-			t.Fatalf("error does not identify the failing rank: %v", err)
-		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("Run hung: abort did not propagate to blocked peers")
-	}
-}
-
-// The same scenario via an injected kill: the fault.Crash panic value must
-// survive Run's error wrapping so supervisors can classify it.
+// An injected kill: the fault.Crash panic value must survive Run's error
+// wrapping so supervisors can classify it.
 func TestInjectedKillClassifiableFromRun(t *testing.T) {
 	fault.Arm(fault.MustParse("kill send rank 2"))
 	defer fault.Disarm()
@@ -62,43 +31,6 @@ func TestInjectedKillClassifiableFromRun(t *testing.T) {
 	}
 	if crash.Rank != 2 {
 		t.Fatalf("Crash.Rank = %d, want 2", crash.Rank)
-	}
-}
-
-func TestAbortErrorReachesPeers(t *testing.T) {
-	errs := make(chan error, 4)
-	_ = Run(4, func(c *Comm) {
-		defer func() {
-			if p := recover(); p != nil {
-				if e, ok := p.(error); ok {
-					errs <- e
-				}
-				panic(p) // keep Run's accounting intact
-			}
-		}()
-		if c.Rank() == 3 {
-			c.Abort("disk on fire")
-			return
-		}
-		Recv[byte](c, 3, 7) // never sent
-	})
-	close(errs)
-	var aborts int
-	for e := range errs {
-		var ae *AbortError
-		if errors.As(e, &ae) {
-			aborts++
-			if ae.Rank == 3 {
-				if ae.Reason != "disk on fire" {
-					t.Fatalf("aborting rank's reason %q", ae.Reason)
-				}
-			} else if !strings.Contains(ae.Reason, "rank 3") {
-				t.Fatalf("peer abort reason %q does not name the cause", ae.Reason)
-			}
-		}
-	}
-	if aborts != 4 {
-		t.Fatalf("%d ranks surfaced *AbortError, want 4", aborts)
 	}
 }
 
@@ -127,37 +59,6 @@ func TestOpTimeoutDetectsHungPeer(t *testing.T) {
 	}
 	if elapsed > 10*time.Second {
 		t.Fatalf("hang detection took %v", elapsed)
-	}
-}
-
-func TestWaitTimeoutReturnsInsteadOfPanicking(t *testing.T) {
-	err := Run(2, func(c *Comm) {
-		if c.Rank() == 0 {
-			r := Irecv(c, 1, 5)
-			err := r.WaitTimeout(100 * time.Millisecond)
-			var te *TimeoutError
-			if !errors.As(err, &te) {
-				panic("WaitTimeout did not time out: " + err.Error())
-			}
-			if te.Rank != 0 || te.Src != 1 || te.Tag != 5 {
-				panic("TimeoutError fields wrong: " + te.Error())
-			}
-			// The request is still incomplete and completable: rank 1's
-			// late message must be receivable after a failed wait.
-			if r.Done() {
-				panic("request marked done after timeout")
-			}
-			r.Wait()
-			if got := Payload[byte](&r); len(got) != 1 || got[0] != 42 {
-				panic("late payload corrupted")
-			}
-		} else {
-			time.Sleep(300 * time.Millisecond)
-			Send(c, 0, 5, []byte{42})
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
 	}
 }
 
@@ -194,28 +95,6 @@ func TestRunDeadlineCleanCompletion(t *testing.T) {
 			panic("bad allreduce")
 		}
 	}, 10*time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestDroppedSendLosesMessage(t *testing.T) {
-	fault.Arm(fault.MustParse("drop send rank 0 once"))
-	defer fault.Disarm()
-	err := Run(2, func(c *Comm) {
-		if c.Rank() == 0 {
-			Send(c, 1, 1, []byte{1}) // dropped
-			Send(c, 1, 2, []byte{2}) // delivered
-		} else {
-			got := Recv[byte](c, 0, 2)
-			if len(got) != 1 || got[0] != 2 {
-				panic("wrong message delivered")
-			}
-			if _, ok, _ := c.world.boxes[1].tryTake(c.ctx, 0, 1); ok {
-				panic("dropped message was delivered")
-			}
-		}
-	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,174 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"reflect"
+	"sync"
+	"unsafe"
+)
+
+// rawPayload is a wire-delivered message body: the raw memory image of the
+// sender's slice. Recv/Payload decode it into the receiver's element type;
+// both sides run the same binary on the same architecture, so the image is
+// bitwise-exact — which is what makes a wire world bitwise-equivalent to the
+// goroutine world.
+type rawPayload []byte
+
+// FrameHeaderSize is the fixed per-message framing overhead of the wire
+// transport in bytes: magic, kind, context, source, tag, destination,
+// payload length, and a CRC-32C covering header and payload.
+const FrameHeaderSize = 48
+
+const (
+	frameMagic = 0x48435731 // "HCW1"
+
+	frameData  = 1 // point-to-point payload
+	frameAbort = 2 // world abort; payload is the reason string
+	frameHello = 3 // first frame on a data connection; src identifies the dialer
+	frameBye   = 4 // graceful close announcement
+)
+
+// maxFramePayload bounds a frame's declared payload length so a corrupt
+// header cannot ask the receiver to allocate gigabytes before the CRC check.
+const maxFramePayload = 1 << 30
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeader is the decoded fixed-size frame prefix. dst is the world rank
+// of the receiving mailbox; src is the sender's rank *within the message's
+// communicator* (matching happens on comm ranks, exactly like the inproc
+// mailbox path).
+type frameHeader struct {
+	kind int
+	ctx  int64
+	src  int64
+	tag  int64
+	dst  int64
+}
+
+// putFrame encodes the header for payload into hdr (FrameHeaderSize bytes),
+// including the CRC over header fields and payload.
+func putFrame(hdr []byte, h frameHeader, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(h.kind))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(h.ctx))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(h.src))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(h.tag))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(h.dst))
+	binary.LittleEndian.PutUint32(hdr[40:], uint32(len(payload)))
+	crc := crc32.Update(0, castagnoli, hdr[:44])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[44:], crc)
+}
+
+// readFrame reads one frame from r, verifying magic, length sanity, and CRC.
+// The returned payload is freshly allocated and owned by the caller.
+func readFrame(r io.Reader) (frameHeader, []byte, error) {
+	var hdr [FrameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frameHeader{}, nil, err
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != frameMagic {
+		return frameHeader{}, nil, fmt.Errorf("mpi: bad frame magic %#x", m)
+	}
+	h := frameHeader{
+		kind: int(binary.LittleEndian.Uint32(hdr[4:])),
+		ctx:  int64(binary.LittleEndian.Uint64(hdr[8:])),
+		src:  int64(binary.LittleEndian.Uint64(hdr[16:])),
+		tag:  int64(binary.LittleEndian.Uint64(hdr[24:])),
+		dst:  int64(binary.LittleEndian.Uint64(hdr[32:])),
+	}
+	n := binary.LittleEndian.Uint32(hdr[40:])
+	if n > maxFramePayload {
+		return frameHeader{}, nil, fmt.Errorf("mpi: frame payload length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return frameHeader{}, nil, err
+	}
+	crc := crc32.Update(0, castagnoli, hdr[:44])
+	crc = crc32.Update(crc, castagnoli, payload)
+	if want := binary.LittleEndian.Uint32(hdr[44:]); crc != want {
+		return frameHeader{}, nil, fmt.Errorf("mpi: frame CRC mismatch (got %#x want %#x)", crc, want)
+	}
+	return h, payload, nil
+}
+
+// sizeOf returns the exact in-memory element size, the unit of both the
+// byte accounting and the wire image.
+func sizeOf[T any]() int {
+	var z T
+	return int(unsafe.Sizeof(z))
+}
+
+// podTypes caches which element types are plain old data (no pointers),
+// keyed by reflect.Type. Only POD may cross the wire: the transport ships
+// the raw memory image, and a pointer is meaningless in another process.
+var podTypes sync.Map
+
+func isPOD(t reflect.Type) bool {
+	if v, ok := podTypes.Load(t); ok {
+		return v.(bool)
+	}
+	pod := podType(t)
+	podTypes.Store(t, pod)
+	return pod
+}
+
+func podType(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return true
+	case reflect.Array:
+		return podType(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !podType(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func checkWireable[T any]() {
+	t := reflect.TypeFor[T]()
+	if !isPOD(t) {
+		panic(fmt.Sprintf("mpi: element type %v contains pointers and cannot cross a wire transport", t))
+	}
+}
+
+// asBytes reinterprets a POD slice as its raw memory image, without copying.
+func asBytes[T any](buf []T) []byte {
+	checkWireable[T]()
+	if len(buf) == 0 {
+		return nil
+	}
+	es := sizeOf[T]()
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(buf))), len(buf)*es)
+}
+
+// decodeRaw copies a wire payload into a freshly allocated []T.
+func decodeRaw[T any](raw rawPayload) []T {
+	checkWireable[T]()
+	es := sizeOf[T]()
+	if len(raw)%es != 0 {
+		panic(fmt.Sprintf("mpi: wire payload of %d bytes is not a whole number of %d-byte elements (%v)",
+			len(raw), es, reflect.TypeFor[T]()))
+	}
+	n := len(raw) / es
+	out := make([]T, n)
+	if n > 0 {
+		dst := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(out))), n*es)
+		copy(dst, raw)
+	}
+	return out
+}
