@@ -34,6 +34,7 @@ func main() {
 		ckptRoot    = flag.String("ckpt-root", "", "cadenced checkpoint root recovery resumes from")
 		deadline    = flag.Duration("deadline", 0, "wall-clock bound per attempt; elapsing classifies as a hang (0 = none)")
 		grace       = flag.Duration("grace", 0, "time survivors get to self-abort after a peer dies before being killed (default 10s)")
+		traceDir    = flag.String("trace", "", "write the supervisor's incident journal under this directory (pass the same dir to the command's own -trace for rank timelines)")
 	)
 	flag.Parse()
 	cmd := flag.Args()
@@ -62,6 +63,7 @@ func main() {
 		AttemptTimeout: *deadline,
 		GraceKill:      *grace,
 		CheckpointRoot: *ckptRoot,
+		TraceDir:       *traceDir,
 		Log:            func(line string) { log.Print(line) },
 	})
 	for _, inc := range rep.Incidents {

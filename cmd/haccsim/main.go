@@ -100,6 +100,8 @@ func main() {
 		steal       = flag.Bool("steal", false, "deque-based intra-rank leaf stealing for tree walks (bitwise-neutral)")
 		par         = flag.Int("par", 0, "spawn N OS processes, one wire-transport rank each (0 = in-process goroutine ranks)")
 		transport   = flag.String("transport", "auto", "wire socket family under -par: tcp|unix|auto")
+		traceDir    = flag.String("trace", "", "write per-rank Chrome trace timelines and JSONL run journals under this directory")
+		debugAddr   = flag.String("debug-addr", "", `serve pprof, metrics, and the journal tail over HTTP on rank 0 (e.g. "127.0.0.1:6060")`)
 	)
 	flag.Parse()
 	if err := validateFlags(*ranks, *np, *ng, *box, *zInit, *zFinal, *steps, *nc,
@@ -151,6 +153,13 @@ func main() {
 			cfg.CheckpointDir = *ckptDir
 			cfg.CheckpointEvery = *ckptEvery
 		}
+		// Observability knobs are output-side, never fingerprinted: a
+		// restart may arm them even though the physics comes from the
+		// checkpoint.
+		if explicit["trace"] || explicit["debug-addr"] {
+			cfg.TraceDir = *traceDir
+			cfg.DebugAddr = *debugAddr
+		}
 		log.Printf("resuming from %s: step %d/%d, a=%.4f, %d particles (written at %d ranks)",
 			dir, info.StepIndex, cfg.Steps, info.A, info.NGlobal, info.NRanks)
 	} else {
@@ -162,6 +171,7 @@ func main() {
 			CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
 			ICKind: *icKind, StealWalks: *steal,
 			RebalanceThreshold: *rebalance, RebalanceMinSteps: *rebMinSteps,
+			TraceDir: *traceDir, DebugAddr: *debugAddr,
 		}
 	}
 	mutate := func(c *core.Config) {
@@ -175,6 +185,12 @@ func main() {
 		if explicit["ckpt-dir"] || explicit["ckpt-every"] {
 			c.CheckpointDir = *ckptDir
 			c.CheckpointEvery = *ckptEvery
+		}
+		if explicit["trace"] {
+			c.TraceDir = *traceDir
+		}
+		if explicit["debug-addr"] {
+			c.DebugAddr = *debugAddr
 		}
 	}
 
@@ -201,7 +217,7 @@ func main() {
 		return // unreachable: runWireChild exits
 	}
 	if *par > 0 {
-		runProcParent(*par, *transport, *maxRestarts, *deadline, *ckptDir, stepDir)
+		runProcParent(*par, *transport, *maxRestarts, *deadline, *ckptDir, stepDir, cfg.TraceDir)
 		return
 	}
 	if *maxRestarts >= 0 {
@@ -305,7 +321,7 @@ func runWireChild(cfg core.Config, stepDir string, mutate func(*core.Config),
 // the environment). Failures recover from the newest restorable checkpoint,
 // exactly as the in-process supervisor does.
 func runProcParent(par int, transport string, maxRestarts int, deadline time.Duration,
-	ckptDir, stepDir string) {
+	ckptDir, stepDir, traceDir string) {
 	exe, err := os.Executable()
 	if err != nil {
 		log.Fatalf("-par: cannot re-exec: %v", err)
@@ -327,6 +343,7 @@ func runProcParent(par int, transport string, maxRestarts int, deadline time.Dur
 		MaxRestarts:    restarts,
 		AttemptTimeout: deadline,
 		CheckpointRoot: ckptDir,
+		TraceDir:       traceDir,
 		ResumeFrom:     stepDir,
 		Log:            func(line string) { log.Print(line) },
 	})
@@ -369,6 +386,7 @@ func drive(s *core.Simulation, ranks, pkBins int, snapPath string, start time.Ti
 	nh := mpi.AllReduce(c, []int{len(halos)}, mpi.SumInt)
 	stats := s.DensityStats()
 	gc := s.GlobalCounters()
+	lat := mpi.WireLatencySummary(c) // collective: before the rank-0 guard
 	if c.Rank() == 0 {
 		fmt.Printf("\nfinal power spectrum (z=%.2f):\n%-10s %-12s %-12s %s\n",
 			s.Z(), "k [h/Mpc]", "P(k)", "P_lin(k)", "modes")
@@ -380,14 +398,12 @@ func drive(s *core.Simulation, ranks, pkBins int, snapPath string, start time.Ti
 		fmt.Printf("density contrast: max=%.1f var=%.3f\n", stats.Max, stats.Variance)
 		fmt.Printf("\nperformance: %.2e kernel interactions, %.2e model flops, wall %.1fs\n",
 			float64(gc.KernelInteractions), gc.Flops(), time.Since(start).Seconds())
-		if gc.Restarts > 0 || gc.CkptRetries > 0 || gc.CkptQuarantined > 0 {
-			fmt.Printf("resilience: %d restarts, %d checkpoint retries, %d quarantined\n",
-				gc.Restarts, gc.CkptRetries, gc.CkptQuarantined)
-		}
-		if gc.Rebalances > 0 || gc.StolenLeaves > 0 {
-			fmt.Printf("balance: %d rebalances, %d stolen leaves, final max/mean %.2f\n",
-				gc.Rebalances, gc.StolenLeaves, s.Imbalance())
-		}
+		// One consistent counters block every run, zero or not, so scripts
+		// and eyeballs always find the same lines in the same place.
+		fmt.Printf("resilience: %d restarts, %d checkpoint retries, %d quarantined\n",
+			gc.Restarts, gc.CkptRetries, gc.CkptQuarantined)
+		fmt.Printf("balance: %d rebalances, %d stolen leaves, final max/mean %.2f\n",
+			gc.Rebalances, gc.StolenLeaves, s.Imbalance())
 		if gc.MsgsSent > 0 {
 			fmt.Printf("communication: %d msgs, %.1f MB payload", gc.MsgsSent, float64(gc.BytesSent)/(1<<20))
 			if gc.WireMsgs > 0 {
@@ -396,6 +412,13 @@ func drive(s *core.Simulation, ranks, pkBins int, snapPath string, start time.Ti
 					float64(gc.WireMsgs*mpi.FrameHeaderSize)/(1<<20))
 			}
 			fmt.Println()
+		}
+		if lat.Count > 0 {
+			fmt.Printf("wire latency: %d frames, p50 %v, p99 %v (send-stamp to match)\n",
+				lat.Count, time.Duration(lat.P50Ns), time.Duration(lat.P99Ns))
+		}
+		if dir := s.Cfg.TraceDir; dir != "" {
+			log.Printf("trace timelines and journals under %s", dir)
 		}
 		for _, p := range s.Timers.Fractions() {
 			fmt.Printf("  %-10s %5.1f%%\n", p.Name, 100*p.Fraction)

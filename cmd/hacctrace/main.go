@@ -1,0 +1,197 @@
+// Command hacctrace validates and summarizes an observability directory
+// produced by haccsim -trace: the per-rank Chrome trace timelines
+// (trace.rNNN.json), the per-rank run journals (journal.rNNN.jsonl), and the
+// supervisor incident journal, if any. It is the CI smoke gate — a trace dir
+// that loads here loads in chrome://tracing — and a quick human summary:
+//
+//	hacctrace out/trace
+//
+// Exit status is non-zero when any file is missing, unparseable, or
+// malformed (an event without a name, a pid that does not match its rank's
+// file, a journal line that is not valid JSON).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+type chromeTrace struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+	Dropped     int64        `json:"droppedSpans"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hacctrace: ")
+	quiet := flag.Bool("q", false, "validate only; print nothing but errors")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: hacctrace [-q] <trace-dir>")
+	}
+	dir := flag.Arg(0)
+
+	traces, err := filepath.Glob(filepath.Join(dir, "trace.r*.json"))
+	if err != nil || len(traces) == 0 {
+		log.Fatalf("no trace.r*.json files under %s", dir)
+	}
+	sort.Strings(traces)
+	ok := true
+	for _, path := range traces {
+		// The rank comes from the filename, not the listing index, so a
+		// missing rank's file cannot shift every later pid check.
+		var rank int
+		if _, err := fmt.Sscanf(filepath.Base(path), "trace.r%d.json", &rank); err != nil {
+			log.Printf("%s: unrecognized trace filename", path)
+			ok = false
+			continue
+		}
+		if err := checkTrace(path, rank, *quiet); err != nil {
+			log.Printf("%s: %v", path, err)
+			ok = false
+		}
+	}
+	journals, _ := filepath.Glob(filepath.Join(dir, "journal.*.jsonl"))
+	sort.Strings(journals)
+	for _, path := range journals {
+		if err := checkJournal(path, *quiet); err != nil {
+			log.Printf("%s: %v", path, err)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("%d trace timeline(s), %d journal(s): all valid\n", len(traces), len(journals))
+	}
+}
+
+// checkTrace validates one rank's timeline: valid JSON, the Chrome
+// trace-event container shape, a name and known phase on every event, and
+// pid agreement with the file's rank.
+func checkTrace(path string, rank int, quiet bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if !json.Valid(raw) {
+		return fmt.Errorf("not valid JSON")
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		return err
+	}
+	if len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("no events")
+	}
+	var spans int
+	var total float64
+	byName := map[string]float64{}
+	for i, ev := range tr.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("event %d has no name", i)
+		}
+		if ev.Ph != "X" && ev.Ph != "M" {
+			return fmt.Errorf("event %d (%s) has unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Pid != rank {
+			return fmt.Errorf("event %d (%s) has pid %d, want rank %d", i, ev.Name, ev.Pid, rank)
+		}
+		if ev.Ph == "X" {
+			if ev.Dur < 0 {
+				return fmt.Errorf("event %d (%s) has negative duration", i, ev.Name)
+			}
+			spans++
+			total += ev.Dur
+			byName[ev.Name] += ev.Dur
+		}
+	}
+	if !quiet {
+		fmt.Printf("%s: %d spans, %.1fms total", filepath.Base(path), spans, total/1e3)
+		if tr.Dropped > 0 {
+			fmt.Printf(" (%d dropped)", tr.Dropped)
+		}
+		names := make([]string, 0, len(byName))
+		for n := range byName {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return byName[names[i]] > byName[names[j]] })
+		for i, n := range names {
+			if i == 3 {
+				break
+			}
+			fmt.Printf("  %s %v", n, time.Duration(byName[n]*1e3).Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// checkJournal validates one journal: every line is a JSON object with a
+// kind field.
+func checkJournal(path string, quiet bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	kinds := map[string]int{}
+	line := 0
+	for len(raw) > 0 {
+		nl := -1
+		for i, b := range raw {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		var rec []byte
+		if nl < 0 {
+			rec, raw = raw, nil
+		} else {
+			rec, raw = raw[:nl], raw[nl+1:]
+		}
+		line++
+		if len(rec) == 0 {
+			continue
+		}
+		var v struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(rec, &v); err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		if v.Kind == "" {
+			return fmt.Errorf("line %d: record has no kind", line)
+		}
+		kinds[v.Kind]++
+	}
+	if !quiet {
+		fmt.Printf("%s:", filepath.Base(path))
+		names := make([]string, 0, len(kinds))
+		for n := range kinds {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf(" %d %s", kinds[n], n)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -50,6 +50,13 @@ type FullResult struct {
 	// machine-noise-free view of the same imbalance BusyMaxSec/BusyMeanSec
 	// measures in wall-clock.
 	WorkImbalance float64
+
+	// Wire send→match latency, merged collectively across ranks from the
+	// per-frame header timestamps (zero everywhere on inproc-only runs,
+	// where no frame crosses a wire).
+	WireLatCount int64
+	WireLatP50Ns int64
+	WireLatP99Ns int64
 }
 
 // FullOptions configures a full-code scaling point.
@@ -119,7 +126,8 @@ func runFullCfg(o FullOptions, cfg core.Config) (FullResult, error) {
 		mem := mpi.AllReduce(c, []float64{s.MemoryMB()}, mpi.MaxF64)
 		ovf := mpi.AllReduce(c, []float64{s.Dom.OverloadFraction()}, mpi.MaxF64)
 		gc := s.GlobalCounters()
-		nGlobal := s.Dom.NGlobal() // collective: before the rank-0 guard
+		nGlobal := s.Dom.NGlobal()       // collective: before the rank-0 guard
+		lat := mpi.WireLatencySummary(c) // collective: before the rank-0 guard
 		if c.Rank() != 0 {
 			return
 		}
@@ -127,8 +135,12 @@ func runFullCfg(o FullOptions, cfg core.Config) (FullResult, error) {
 		res.Geometry = s.Dec.Dims
 		res.Substeps = s.SubstepsDone
 		res.WallSec = wall
-		res.SecPerSub = wall / float64(s.SubstepsDone)
-		res.NsPerSubPart = res.SecPerSub * 1e9 / float64(res.NpTotal)
+		if s.SubstepsDone > 0 {
+			res.SecPerSub = wall / float64(s.SubstepsDone)
+		}
+		if res.NpTotal > 0 {
+			res.NsPerSubPart = res.SecPerSub * 1e9 / float64(res.NpTotal)
+		}
 		res.RankTime = float64(o.Ranks) * res.NsPerSubPart
 		res.MemMBPerRank = mem[0]
 		res.Interactions = gc.KernelInteractions
@@ -157,6 +169,9 @@ func runFullCfg(o FullOptions, cfg core.Config) (FullResult, error) {
 		if wsum > 0 {
 			res.WorkImbalance = wmax / (wsum / float64(len(work)))
 		}
+		res.WireLatCount = lat.Count
+		res.WireLatP50Ns = lat.P50Ns
+		res.WireLatP99Ns = lat.P99Ns
 	})
 	return res, err
 }
@@ -171,9 +186,9 @@ func PrintFullTable(w io.Writer, rows []FullResult, memBudgetMB float64) {
 	fmt.Fprintln(w)
 	for _, r := range rows {
 		geom := fmt.Sprintf("%dx%dx%d", r.Geometry[0], r.Geometry[1], r.Geometry[2])
-		fmt.Fprintf(w, "%-7d %-12d %-10s %-14.4f %-16.1f %-14.1f %-10.1f %-13.2f %-11.1f",
-			r.Ranks, r.NpTotal, geom, r.SecPerSub, r.NsPerSubPart, r.RankTime,
-			r.MemMBPerRank, r.HostGFlops, r.BGQTF)
+		fmt.Fprintf(w, "%-7d %-12d %-10s %-14s %-16s %-14s %-10.1f %-13s %-11.1f",
+			r.Ranks, r.NpTotal, geom, orDash(r.SecPerSub, "%.4f"), orDash(r.NsPerSubPart, "%.1f"),
+			orDash(r.RankTime, "%.1f"), r.MemMBPerRank, orDash(r.HostGFlops, "%.2f"), r.BGQTF)
 		if memBudgetMB > 0 {
 			fmt.Fprintf(w, " %-8.1f", 100*r.MemMBPerRank/memBudgetMB)
 		}
@@ -181,8 +196,19 @@ func PrintFullTable(w io.Writer, rows []FullResult, memBudgetMB float64) {
 	}
 }
 
+// orDash formats v with format, or returns "--" when v is zero or not
+// finite — the shape a degenerate run (zero substeps, zero interactions,
+// zero busy time) leaves behind. Reports never print NaN/Inf.
+func orDash(v float64, format string) string {
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return "--"
+	}
+	return fmt.Sprintf(format, v)
+}
+
 // PrintPhaseSplit writes the §III time-split report for one run, including
-// the posted-vs-exposed communication split of the overlapped exchange.
+// the posted-vs-exposed communication split of the overlapped exchange and
+// the merged wire send→match latency histogram summary.
 func PrintPhaseSplit(w io.Writer, r FullResult) {
 	fmt.Fprintf(w, "phase split (paper: ~80%% kernel, 10%% walk, 5%% FFT, 5%% rest):\n")
 	for _, p := range r.Phases {
@@ -193,9 +219,32 @@ func PrintPhaseSplit(w io.Writer, r FullResult) {
 			r.CommPostSec, r.CommWaitSec, 100*r.CommWaitSec/tot)
 	}
 	if r.BusyMeanSec > 0 {
-		fmt.Fprintf(w, "rank busy max/mean/min: %.3fs / %.3fs / %.3fs  (imbalance %.2f; rebalances %d, stolen leaves %d)\n",
-			r.BusyMaxSec, r.BusyMeanSec, r.BusyMinSec, r.BusyMaxSec/r.BusyMeanSec,
+		fmt.Fprintf(w, "rank busy max/mean/min: %.3fs / %.3fs / %.3fs  (imbalance %s; rebalances %d, stolen leaves %d)\n",
+			r.BusyMaxSec, r.BusyMeanSec, r.BusyMinSec, orDash(r.BusyMaxSec/r.BusyMeanSec, "%.2f"),
 			r.Rebalances, r.StolenLeaves)
+	} else {
+		fmt.Fprintf(w, "rank busy max/mean/min: -- / -- / --  (imbalance --; rebalances %d, stolen leaves %d)\n",
+			r.Rebalances, r.StolenLeaves)
+	}
+	if r.WireLatCount > 0 {
+		fmt.Fprintf(w, "wire latency: %d frames, p50 %s, p99 %s (send-stamp to match, merged across ranks)\n",
+			r.WireLatCount, fmtNs(r.WireLatP50Ns), fmtNs(r.WireLatP99Ns))
+	} else {
+		fmt.Fprintf(w, "wire latency: -- (no wire frames; inproc transport)\n")
+	}
+}
+
+// fmtNs renders a nanosecond latency with a human-scale unit.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"hacc/internal/grid"
 	"hacc/internal/machine"
 	"hacc/internal/mpi"
+	"hacc/internal/obs"
 	"hacc/internal/snapshot"
 )
 
@@ -156,7 +157,21 @@ func decodeCkptMeta(meta []byte) (ckptMeta, []byte, error) {
 // temporary name and renamed into place, so an interrupted checkpoint
 // never leaves a truncated file under a restorable name. Collective.
 func (s *Simulation) Checkpoint(dir string) (err error) {
-	s.Timers.Time("checkpoint", func() { err = s.checkpoint(dir) })
+	retries0 := s.Counters.CkptRetries
+	s.phase("checkpoint", obs.SpanCheckpoint, func() { err = s.checkpoint(dir) })
+	if s.journal != nil {
+		rec := obs.CheckpointRecord{
+			Kind:    "checkpoint",
+			Step:    s.StepIndex,
+			Dir:     dir,
+			OK:      err == nil,
+			Retries: s.Counters.CkptRetries - retries0,
+		}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		s.journal.Record(rec)
+	}
 	return err
 }
 

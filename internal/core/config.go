@@ -156,6 +156,20 @@ type Config struct {
 	// excluded from the config fingerprint, so a restart may change them.
 	CheckpointRetries      int
 	CheckpointRetryBackoff time.Duration
+
+	// Observability (PR 10). TraceDir arms the span tracer and the per-rank
+	// run journal: New (and Restore) arms obs tracing for the world, every
+	// rank appends a JSONL step record to TraceDir/journal.r%03d.jsonl, and
+	// Run flushes each rank's ring as Chrome trace-event JSON
+	// (TraceDir/trace.r%03d.json — load in chrome://tracing or Perfetto).
+	// Empty (the default) keeps tracing disarmed: the span calls left in the
+	// hot path cost one atomic load each and never allocate. DebugAddr is
+	// consumed by cmd/haccsim, which serves pprof, live metrics, and the
+	// journal tail on that address from rank 0. Both are output knobs like
+	// AnalysisDir — bitwise-neutral and excluded from the fingerprint, so a
+	// restart may turn tracing on to diagnose a wedged campaign.
+	TraceDir  string
+	DebugAddr string
 }
 
 // WithDefaults returns the config with defaults filled in.

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"hacc/internal/mpi"
+	"hacc/internal/obs"
 )
 
 // Exit-code protocol between a supervised rank process and its parent. A
@@ -106,6 +107,10 @@ type ProcOptions struct {
 	// from (newest restorable step, damaged ones quarantined). Empty means
 	// every retry restarts from initial conditions.
 	CheckpointRoot string
+	// TraceDir, when set, receives the supervisor's incident journal
+	// (journal.supervisor.jsonl) alongside the rank processes' own trace and
+	// journal files — the same layout the in-process supervisor produces.
+	TraceDir string
 	// ResumeFrom pre-seeds the first attempt's resume directory.
 	ResumeFrom string
 
@@ -171,6 +176,29 @@ func SuperviseProcs(opts ProcOptions) (*Report, error) {
 			opts.Log(fmt.Sprintf(format, args...))
 		}
 	}
+	var incLog *obs.Journal
+	if opts.TraceDir != "" {
+		if j, err := obs.OpenJournalFile(filepath.Join(opts.TraceDir, "journal.supervisor.jsonl")); err == nil {
+			incLog = j
+			defer incLog.Close()
+		} else {
+			logf("supervisor: incident journal unavailable: %v", err)
+		}
+	}
+	recordIncident := func(inc Incident) {
+		rec := obs.IncidentRecord{
+			Kind:        "incident",
+			Attempt:     inc.Attempt,
+			Class:       inc.Class.String(),
+			Resume:      inc.Resume,
+			Quarantined: inc.Quarantined,
+			BackoffMs:   float64(inc.Backoff) / 1e6,
+		}
+		if inc.Err != nil {
+			rec.Err = inc.Err.Error()
+		}
+		incLog.Record(rec) // nil-safe
+	}
 
 	rep := &Report{}
 	resume := opts.ResumeFrom
@@ -189,6 +217,7 @@ func SuperviseProcs(opts ProcOptions) (*Report, error) {
 		}
 		if attempt >= opts.MaxRestarts {
 			rep.Incidents = append(rep.Incidents, inc)
+			recordIncident(inc)
 			logf("supervisor: attempt %d failed (%s): %v; restarts exhausted", attempt, class, runErr)
 			return rep, fmt.Errorf("core: supervised procs failed after %d restarts: last failure (%s): %w",
 				rep.Restarts, class, runErr)
@@ -202,6 +231,7 @@ func SuperviseProcs(opts ProcOptions) (*Report, error) {
 		}
 		inc.Backoff = backoff
 		rep.Incidents = append(rep.Incidents, inc)
+		recordIncident(inc)
 		from := next
 		if from == "" {
 			from = "initial conditions"

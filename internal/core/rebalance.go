@@ -8,6 +8,7 @@ import (
 	"hacc/internal/domain"
 	"hacc/internal/grid"
 	"hacc/internal/mpi"
+	"hacc/internal/obs"
 	"hacc/internal/spectral"
 )
 
@@ -160,7 +161,7 @@ func validCuts(cuts [3][]int, n, dims [3]int) error {
 // the ID-sorted particle state. Collective; cuts must be identical on every
 // rank and satisfy grid.NewDecompCuts.
 func (s *Simulation) RebalanceTo(cuts [3][]int) {
-	s.Timers.Time("rebalance", func() { s.rebalanceTo(cuts) })
+	s.phase("rebalance", obs.SpanRebalance, func() { s.rebalanceTo(cuts) })
 	s.Counters.Rebalances++
 }
 

@@ -15,6 +15,7 @@ import (
 	"hacc/internal/ic"
 	"hacc/internal/machine"
 	"hacc/internal/mpi"
+	"hacc/internal/obs"
 	"hacc/internal/par"
 	"hacc/internal/shortrange"
 	"hacc/internal/snapshot"
@@ -91,6 +92,16 @@ type Simulation struct {
 	balancer  *balance.Balancer
 	lastInter int64
 	lastWalk  int64
+
+	// Observability (PR 10): journal is the per-rank JSONL run journal (nil
+	// unless Cfg.TraceDir is set — every method is nil-safe), lastPhaseSec
+	// snapshots the timer totals at the previous step record so each record
+	// carries per-phase deltas, and the gauges mirror step/a into the
+	// world's metric registry for the live debug endpoint.
+	journal      *obs.Journal
+	lastPhaseSec map[string]float64
+	gaugeStep    *obs.Gauge
+	gaugeA       *obs.Gauge
 }
 
 // InSituResult is one in-situ analysis product: the rank's share of the
@@ -237,7 +248,47 @@ func newSimulation(c *mpi.Comm, cfg Config) (*Simulation, error) {
 			MinSteps:  cfg.RebalanceMinSteps,
 		}, c.Size())
 	}
+	// Observability arming lives here, not in New, so Restore gets journal
+	// and spans too. The gauges go into the world registry — the same one
+	// the wire transport feeds its latency histogram — so the debug
+	// endpoint's /debug/metrics shows physics progress and wire health side
+	// by side.
+	s.gaugeStep = c.World().Metrics().Gauge("sim.step")
+	s.gaugeA = c.World().Metrics().Gauge("sim.a")
+	if cfg.TraceDir != "" {
+		if err := obs.ArmTracing(cfg.TraceDir, c.Size()); err != nil {
+			return nil, err
+		}
+		j, err := obs.OpenJournal(cfg.TraceDir, c.Rank())
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		s.lastPhaseSec = map[string]float64{}
+		if c.Rank() == 0 {
+			obs.SetDebugRegistry(c.World().Metrics())
+			obs.SetDebugJournal(j.Path())
+		}
+	}
+	if cfg.DebugAddr != "" && c.Rank() == 0 {
+		// The endpoint serves whatever is registered: metrics always, the
+		// journal tail only when -trace armed one. Idempotent across
+		// supervised in-process restarts (the first listener wins).
+		obs.SetDebugRegistry(c.World().Metrics())
+		if _, err := obs.EnableDebug(cfg.DebugAddr); err != nil {
+			return nil, fmt.Errorf("core: debug endpoint %s: %w", cfg.DebugAddr, err)
+		}
+	}
 	return s, nil
+}
+
+// phase runs fn under both observability layers at once: the named timer
+// (the phase-split report) and a trace span (the per-rank timeline). With
+// tracing disarmed the span half costs one atomic load.
+func (s *Simulation) phase(name string, id obs.SpanID, fn func()) {
+	t0 := obs.Begin()
+	s.Timers.Time(name, fn)
+	obs.End(s.Comm.Rank(), id, t0)
 }
 
 // ensureFOF builds the persistent halo-finder plan on first use (purely
@@ -303,27 +354,35 @@ func (s *Simulation) step() error {
 	// Rebalance before any physics of the step, so the whole step runs under
 	// one geometry and every rank makes the identical collective decision.
 	s.maybeRebalance()
+	stepT0 := obs.Begin()
+	wallT0 := time.Now()
 	a0, a1 := s.sched.StepBounds(s.StepIndex)
 	ops := timestep.Ops(s.Cfg.Cosmo, a0, a1, s.sched.SubCycles)
 	for _, op := range ops {
 		switch op.Kind {
 		case timestep.KickLong:
+			t0 := obs.Begin()
 			s.kickLong(op.W)
+			obs.End(s.Comm.Rank(), obs.SpanKickLong, t0)
 		case timestep.KickShort:
 			s.FinishRefresh() // no-op except before the first passive read
+			t0 := obs.Begin()
 			s.kickShort(op.W)
+			obs.End(s.Comm.Rank(), obs.SpanKickShort, t0)
 			s.SubstepsDone++
 		case timestep.Stream:
 			s.FinishRefresh()
+			t0 := obs.Begin()
 			s.stream(op.W)
+			obs.End(s.Comm.Rank(), obs.SpanStream, t0)
 		}
 	}
 	// Migration cannot overlap anything (the refresh classification needs
 	// the arrived actives), but the refresh wait can: post it here and let
 	// the caller run analysis — or the next deposit+solve — before the End.
-	s.Timers.Time(machine.CommPost, func() { s.Dom.MigrateBegin() })
-	s.Timers.Time(machine.CommWait, func() { s.Dom.MigrateEnd() })
-	s.Timers.Time(machine.CommPost, func() { s.Dom.RefreshBegin() })
+	s.phase(machine.CommPost, obs.SpanCommPost, func() { s.Dom.MigrateBegin() })
+	s.phase(machine.CommWait, obs.SpanCommWait, func() { s.Dom.MigrateEnd() })
+	s.phase(machine.CommPost, obs.SpanCommPost, func() { s.Dom.RefreshBegin() })
 	s.refreshPending = true
 	if s.Cfg.DisableOverlap {
 		s.FinishRefresh()
@@ -331,7 +390,44 @@ func (s *Simulation) step() error {
 	s.observeCost()
 	s.StepIndex++
 	s.A = a1
+	obs.End(s.Comm.Rank(), obs.SpanStep, stepT0)
+	s.recordStep(a1-a0, time.Since(wallT0))
 	return nil
+}
+
+// recordStep appends this completed step to the run journal and mirrors the
+// run's progress into the metric gauges. No-op without a journal.
+func (s *Simulation) recordStep(da float64, wall time.Duration) {
+	s.gaugeStep.Set(float64(s.StepIndex))
+	s.gaugeA.Set(s.A)
+	if s.journal == nil {
+		return
+	}
+	// Timers accumulate for the life of the rank; the record carries this
+	// step's contribution, so diff against the previous step's totals.
+	var phases map[string]float64
+	cur := make(map[string]float64, len(s.lastPhaseSec))
+	for _, pf := range s.Timers.Fractions() {
+		cur[pf.Name] = pf.Seconds
+		if d := pf.Seconds - s.lastPhaseSec[pf.Name]; d > 0 {
+			if phases == nil {
+				phases = make(map[string]float64)
+			}
+			phases[pf.Name] = d * 1e3
+		}
+	}
+	s.lastPhaseSec = cur
+	s.journal.Record(obs.StepRecord{
+		Kind:       "step",
+		Step:       s.StepIndex,
+		A:          s.A,
+		Da:         da,
+		WallMs:     float64(wall) / 1e6,
+		PhaseMs:    phases,
+		Imbalance:  s.Imbalance(),
+		Rebalances: s.Counters.Rebalances,
+		Restarts:   s.Counters.Restarts,
+	})
 }
 
 // FinishRefresh completes a pending overlapped overload refresh. It is a
@@ -341,7 +437,7 @@ func (s *Simulation) FinishRefresh() {
 	if !s.refreshPending {
 		return
 	}
-	s.Timers.Time(machine.CommWait, func() { s.Dom.RefreshEnd() })
+	s.phase(machine.CommWait, obs.SpanCommWait, func() { s.Dom.RefreshEnd() })
 	s.refreshPending = false
 }
 
@@ -352,6 +448,14 @@ func (s *Simulation) FinishRefresh() {
 // read actives freely but must call FinishRefresh before touching
 // Dom.Passive.
 func (s *Simulation) Run(cb func(step int, a float64)) error {
+	// Flush this rank's trace ring however the run ends — completion, a step
+	// error, or a panic unwinding toward the supervisor — so a crashed run
+	// still leaves its timeline on disk.
+	defer func() {
+		if obs.TraceArmed() {
+			obs.FlushRank(s.Comm.Rank())
+		}
+	}()
 	for s.StepIndex < s.sched.Steps {
 		if err := s.step(); err != nil {
 			return err
@@ -390,7 +494,7 @@ func (s *Simulation) maybeAnalyze() error {
 func (s *Simulation) Analyze() error {
 	s.ensureAnalysis(s.Cfg.AnalysisBins)
 	var res InSituResult
-	s.Timers.Time("analysis", func() {
+	s.phase("analysis", obs.SpanAnalysis, func() {
 		res = InSituResult{Step: s.StepIndex, A: s.A}
 		res.Spectrum = s.power.Measure(s.Dom, true)
 		s.FinishRefresh()
@@ -433,7 +537,7 @@ func (s *Simulation) Analyze() error {
 // (the deposit needs only actives; each fill touches only its own field;
 // each momentum component updates its own array).
 func (s *Simulation) kickLong(w float64) {
-	s.Timers.Time("cic", func() {
+	s.phase("cic", obs.SpanCIC, func() {
 		s.rho.Fill(0)
 		if s.Cfg.ThreadedCIC {
 			grid.DepositCICParallel(s.rho, s.Dom.Active.X, s.Dom.Active.Y, s.Dom.Active.Z, s.ParticleMass, s.Cfg.Threads)
@@ -443,27 +547,27 @@ func (s *Simulation) kickLong(w float64) {
 		s.Counters.CICOps += int64(s.Dom.Active.Len())
 	})
 	var rhoOp *grid.GhostOp
-	s.Timers.Time(machine.CommPost, func() { rhoOp = s.rhoEx.AccumulateBegin(s.rho) })
+	s.phase(machine.CommPost, obs.SpanCommPost, func() { rhoOp = s.rhoEx.AccumulateBegin(s.rho) })
 	// Complete a refresh deferred from the previous step while the ghost
 	// sums are in flight (first passive read of this step is below).
 	s.FinishRefresh()
-	s.Timers.Time(machine.CommWait, func() { rhoOp.End() })
-	s.Timers.Time("fft", func() {
+	s.phase(machine.CommWait, obs.SpanCommWait, func() { rhoOp.End() })
+	s.phase("fft", obs.SpanFFT, func() {
 		s.poisson.Solve(s.rho, &s.acc)
 		// One r2c forward + three c2r gradient inverses; Hermitian symmetry
 		// halves each, so the flop model counts 4×½ = 2 complex-transform
 		// equivalents.
 		s.Counters.FFT3D += 2
 	})
-	s.Timers.Time(machine.CommPost, func() {
+	s.phase(machine.CommPost, obs.SpanCommPost, func() {
 		for d := 0; d < 3; d++ {
 			s.fillOps[d] = s.accEx[d].FillBegin(s.acc[d])
 		}
 	})
 	for d := 0; d < 3; d++ {
-		s.Timers.Time(machine.CommWait, func() { s.fillOps[d].End() })
+		s.phase(machine.CommWait, obs.SpanCommWait, func() { s.fillOps[d].End() })
 		s.fillOps[d] = nil
-		s.Timers.Time("cic", func() {
+		s.phase("cic", obs.SpanCIC, func() {
 			s.applyGridKickComponent(&s.Dom.Active, d, w)
 			s.applyGridKickComponent(&s.Dom.Passive, d, w)
 		})
@@ -536,9 +640,12 @@ func (s *Simulation) kickShort(w float64) {
 				sc.fr = tree.NewForest(s.Cfg.LeafSize, s.Cfg.NTrees, s.Cfg.RCut)
 			}
 			t0 := time.Now()
+			sp := obs.Begin()
 			sc.fr.Rebuild(x, y, z)
 			s.Timers.Add("build", time.Since(t0))
+			obs.End(s.Comm.Rank(), obs.SpanBuild, sp)
 			t0 = time.Now()
+			sp = obs.Begin()
 			if s.Cfg.StealWalks {
 				s.Counters.StolenLeaves += sc.fr.ComputeForcesStealRanges(s.Kernel.ApplyRanges, s.Cfg.RCut, s.pool)
 			} else {
@@ -546,6 +653,7 @@ func (s *Simulation) kickShort(w float64) {
 				// it does not use the flat worker pool.
 				sc.fr.ComputeForcesRanges(s.Kernel.ApplyRanges, s.Cfg.RCut, s.Cfg.Threads)
 			}
+			obs.End(s.Comm.Rank(), obs.SpanWalk, sp)
 			walkAndKernel := time.Since(t0)
 			inter := sc.fr.Interactions()
 			s.Counters.KernelInteractions += inter
@@ -561,14 +669,18 @@ func (s *Simulation) kickShort(w float64) {
 		}
 		tr := sc.tr
 		t0 := time.Now()
+		sp := obs.Begin()
 		tr.Rebuild(x, y, z)
 		s.Timers.Add("build", time.Since(t0))
+		obs.End(s.Comm.Rank(), obs.SpanBuild, sp)
 		t0 = time.Now()
+		sp = obs.Begin()
 		if s.Cfg.StealWalks {
 			s.Counters.StolenLeaves += tr.ComputeForcesStealRanges(s.Kernel.ApplyRanges, s.Cfg.RCut, s.pool)
 		} else {
 			tr.ComputeForcesPoolRanges(s.Kernel.ApplyRanges, s.Cfg.RCut, s.pool)
 		}
+		obs.End(s.Comm.Rank(), obs.SpanWalk, sp)
 		walkAndKernel := time.Since(t0)
 		inter := tr.Interactions.Load()
 		s.Counters.KernelInteractions += inter
@@ -588,11 +700,15 @@ func (s *Simulation) kickShort(w float64) {
 		}
 		cm := sc.cm
 		t0 := time.Now()
+		sp := obs.Begin()
 		cm.Rebuild(x, y, z)
 		s.Timers.Add("build", time.Since(t0))
+		obs.End(s.Comm.Rank(), obs.SpanBuild, sp)
 		t0 = time.Now()
+		sp = obs.Begin()
 		cm.ComputeForcesPoolRanges(s.Kernel.ApplyRanges, s.pool)
 		s.Timers.Add("kernel", time.Since(t0))
+		obs.End(s.Comm.Rank(), obs.SpanWalk, sp)
 		s.Counters.KernelInteractions += cm.Interactions.Load()
 		cm.AccelInto(ax, ay, az)
 	}

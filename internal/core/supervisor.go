@@ -11,6 +11,7 @@ import (
 	"hacc/internal/fault"
 	"hacc/internal/gio"
 	"hacc/internal/mpi"
+	"hacc/internal/obs"
 )
 
 // FailureClass is the supervisor's diagnosis of one failed attempt. The
@@ -177,6 +178,33 @@ func RunSupervised(cfg Config, opts SupervisorOptions, body func(*Simulation) er
 			opts.Log(fmt.Sprintf(format, args...))
 		}
 	}
+	// The supervisor's own incident journal, alongside the per-rank run
+	// journals: the campaign's recovery history survives even when the
+	// process dies between attempts. Not a rank product — one file per
+	// supervisor, append-only across attempts.
+	var incLog *obs.Journal
+	if cfg.TraceDir != "" {
+		if j, err := obs.OpenJournalFile(filepath.Join(cfg.TraceDir, "journal.supervisor.jsonl")); err == nil {
+			incLog = j
+			defer incLog.Close()
+		} else {
+			logf("supervisor: incident journal unavailable: %v", err)
+		}
+	}
+	recordIncident := func(inc Incident) {
+		rec := obs.IncidentRecord{
+			Kind:        "incident",
+			Attempt:     inc.Attempt,
+			Class:       inc.Class.String(),
+			Resume:      inc.Resume,
+			Quarantined: inc.Quarantined,
+			BackoffMs:   float64(inc.Backoff) / 1e6,
+		}
+		if inc.Err != nil {
+			rec.Err = inc.Err.Error()
+		}
+		incLog.Record(rec) // nil-safe
+	}
 
 	rep := &Report{}
 	resume := opts.ResumeFrom
@@ -231,6 +259,7 @@ func RunSupervised(cfg Config, opts SupervisorOptions, body func(*Simulation) er
 		}
 		if attempt >= opts.MaxRestarts {
 			rep.Incidents = append(rep.Incidents, inc)
+			recordIncident(inc)
 			logf("supervisor: attempt %d failed (%s): %v; restarts exhausted", attempt, class, runErr)
 			return rep, fmt.Errorf("core: supervised run failed after %d restarts: last failure (%s): %w",
 				rep.Restarts, class, lastErr)
@@ -249,6 +278,7 @@ func RunSupervised(cfg Config, opts SupervisorOptions, body func(*Simulation) er
 		}
 		inc.Backoff = backoff
 		rep.Incidents = append(rep.Incidents, inc)
+		recordIncident(inc)
 		from := next
 		if from == "" {
 			from = "initial conditions"

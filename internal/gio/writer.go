@@ -10,6 +10,7 @@ import (
 
 	"hacc/internal/fault"
 	"hacc/internal/mpi"
+	"hacc/internal/obs"
 )
 
 // syncFile fsyncs a container file, reporting to an armed fault injector
@@ -140,6 +141,10 @@ func streamBlock(v *Var, buf []byte, emit func([]byte) error) error {
 // communicator, so single-file products (per-rank snapshots, catalogs,
 // spectra) and collective checkpoints share one on-disk layout.
 func WriteTo(w io.Writer, meta []byte, vars []Var) error {
+	// Single-rank products have no communicator; their spans land on rank 0's
+	// timeline, which is where the lone writer of such files runs in practice.
+	t0 := obs.Begin()
+	defer func() { obs.End(0, obs.SpanGioWrite, t0) }()
 	if err := validateVars(vars); err != nil {
 		return err
 	}
@@ -203,6 +208,8 @@ func (w *Writer) Write(path string, meta []byte, vars []Var) error {
 	p := c.Size()
 	me := c.Rank()
 	nv := len(vars)
+	t0 := obs.Begin()
+	defer func() { obs.End(me, obs.SpanGioWrite, t0) }()
 
 	// Collective agreement: every rank's columns must validate locally and
 	// hash to the same schema before anyone touches the filesystem.

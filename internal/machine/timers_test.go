@@ -1,0 +1,121 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Unentered phases must read as zero everywhere, not as missing keys or NaN
+// fractions — the phase report renders timers for phases a configuration
+// never runs (no FFT on a tree-only run, no rebalance with balancing off).
+func TestTimersUnenteredPhases(t *testing.T) {
+	tm := NewTimers()
+	if post, wait := tm.CommSplit(); post != 0 || wait != 0 {
+		t.Fatalf("empty CommSplit = %v, %v; want 0, 0", post, wait)
+	}
+	if got := tm.Busy(); got != 0 {
+		t.Fatalf("empty Busy = %v, want 0", got)
+	}
+	if got := tm.Total(); got != 0 {
+		t.Fatalf("empty Total = %v, want 0", got)
+	}
+	if fr := tm.Fractions(); len(fr) != 0 {
+		t.Fatalf("empty Fractions = %v, want none", fr)
+	}
+
+	// One entered phase: the others still read zero, fractions sum to 1.
+	tm.Add("kernel", time.Second)
+	if post, wait := tm.CommSplit(); post != 0 || wait != 0 {
+		t.Fatalf("CommSplit with only kernel time = %v, %v; want 0, 0", post, wait)
+	}
+	fr := tm.Fractions()
+	if len(fr) != 1 || fr[0].Name != "kernel" || fr[0].Fraction != 1 {
+		t.Fatalf("Fractions = %+v, want kernel at 1.0", fr)
+	}
+}
+
+func TestTimersEnterExit(t *testing.T) {
+	tm := NewTimers()
+	tm.Enter("walk")
+	tm.Enter("kernel") // nested
+	time.Sleep(time.Millisecond)
+	tm.Exit("kernel")
+	tm.Exit("walk")
+	if got := tm.Get("kernel"); got <= 0 {
+		t.Fatalf("kernel = %v, want > 0", got)
+	}
+	if got := tm.Get("walk"); got < tm.Get("kernel") {
+		t.Fatalf("outer walk (%v) shorter than nested kernel (%v)", got, tm.Get("kernel"))
+	}
+}
+
+// Misusing the Enter/Exit bracketing must panic loudly, not silently
+// misattribute phase time.
+func TestTimersExitMisusePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Exit with no open phase", func() {
+		NewTimers().Exit("kernel")
+	})
+	mustPanic("Exit of a phase that is not innermost", func() {
+		tm := NewTimers()
+		tm.Enter("walk")
+		tm.Enter("kernel")
+		tm.Exit("walk")
+	})
+	mustPanic("Exit of a never-entered phase", func() {
+		tm := NewTimers()
+		tm.Enter("walk")
+		tm.Exit("fft")
+	})
+}
+
+// The per-worker pattern: workers accumulate into private timer sets and the
+// owner merges them after the join. Concurrent merges into one target must
+// be exact under -race.
+func TestTimersConcurrentMerge(t *testing.T) {
+	const workers = 8
+	total := NewTimers()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			priv := NewTimers()
+			for i := 0; i < 100; i++ {
+				priv.Add("kernel", time.Microsecond)
+				priv.Add(CommWait, time.Microsecond)
+			}
+			total.Merge(priv)
+		}()
+	}
+	wg.Wait()
+	want := time.Duration(workers*100) * time.Microsecond
+	if got := total.Get("kernel"); got != want {
+		t.Fatalf("merged kernel = %v, want %v", got, want)
+	}
+	if got := total.Busy(); got != want {
+		t.Fatalf("merged Busy = %v, want %v (commwait excluded)", got, want)
+	}
+}
+
+func TestTimersMergeSelfAndNil(t *testing.T) {
+	tm := NewTimers()
+	tm.Add("kernel", time.Second)
+	tm.Merge(tm)
+	if got := tm.Get("kernel"); got != time.Second {
+		t.Fatalf("self-merge doubled kernel to %v", got)
+	}
+	tm.Merge(nil)
+	if got := tm.Get("kernel"); got != time.Second {
+		t.Fatalf("nil merge changed kernel to %v", got)
+	}
+}

@@ -95,6 +95,7 @@ func Connect(size, rank int, opt WireOptions) (*World, error) {
 	w.boxes[rank] = newMailbox(rank)
 	w.local = []int{rank}
 	w.sent = make([]commStat, size)
+	w.initMetrics()
 	t := &wireTransport{w: w, self: rank, size: size, opt: opt}
 	t.cond = sync.NewCond(&t.mu)
 	t.conns = make([]*peerConn, size)

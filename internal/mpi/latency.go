@@ -1,0 +1,53 @@
+package mpi
+
+import "hacc/internal/obs"
+
+// WireLatency is the world-wide wire send→match latency distribution,
+// merged across every rank's histogram.
+type WireLatency struct {
+	Count int64 // wire messages observed by any rank
+	SumNs int64 // total latency, for the mean
+	P50Ns int64 // median (bucket upper bound; conservative within a doubling)
+	P99Ns int64 // 99th percentile
+}
+
+// WireLatencySummary merges every rank's wire-latency histogram into one
+// distribution with a single SumI64 reduction over the bucket counts — every
+// rank's histogram uses obs.LatencyBuckets, so the counts add element-wise
+// regardless of which process owns them. It is a collective: every rank of c
+// must call it. In a multi-process world each process's World sees only its
+// local ranks' receives, which is exactly why the merge must be a reduction
+// rather than a read of shared state.
+//
+// Caveat for the in-process world: all ranks of an inproc World share one
+// histogram, and inproc deliveries carry no timestamp, so Count is zero
+// unless the world has a wire transport.
+func WireLatencySummary(c *Comm) WireLatency {
+	h := c.world.wireLat
+	local := h.Snapshot(nil)
+	local = append(local, h.Sum())
+	// Inproc worlds share one histogram across all ranks; dividing the
+	// contribution keeps the reduction from multiplying the shared counts by
+	// the rank count. Wire worlds have one histogram per process, counting
+	// only that process's receives, so each contributes its counts once.
+	if !c.world.Wire() && c.Size() > 1 {
+		if c.Rank() != 0 {
+			for i := range local {
+				local[i] = 0
+			}
+		}
+	}
+	merged := AllReduce(c, local, SumI64)
+	counts := merged[:len(merged)-1]
+	bounds := h.Bounds()
+	var n int64
+	for _, v := range counts {
+		n += v
+	}
+	return WireLatency{
+		Count: n,
+		SumNs: merged[len(merged)-1],
+		P50Ns: obs.QuantileFromCounts(bounds, counts, 0.50),
+		P99Ns: obs.QuantileFromCounts(bounds, counts, 0.99),
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hacc/internal/fault"
+	"hacc/internal/obs"
 )
 
 // TimeoutError reports a blocking operation that exceeded the world's
@@ -60,7 +61,8 @@ type message struct {
 	ctx     int64
 	src     int
 	tag     int
-	payload any // a slice owned by the receiver, or a rawPayload off the wire
+	payload any   // a slice owned by the receiver, or a rawPayload off the wire
+	sentNs  int64 // sender's wall-clock UnixNano at frame write; 0 for inproc delivery
 }
 
 // mailbox holds pending messages destined for one rank.
@@ -69,8 +71,9 @@ type mailbox struct {
 	cond    *sync.Cond
 	pending []message
 	aborted bool
-	reason  string // why the world aborted, for error messages
-	rank    int    // world rank this mailbox belongs to
+	reason  string         // why the world aborted, for error messages
+	rank    int            // world rank this mailbox belongs to
+	lat     *obs.Histogram // wire send→match latency sink (world-shared; may be nil)
 }
 
 func newMailbox(rank int) *mailbox {
@@ -137,7 +140,13 @@ func (m *mailbox) tryTake(ctx int64, src, tag int) (message, bool, error) {
 }
 
 // match removes and returns the first pending message matching
-// (ctx, src, tag). Caller holds m.mu.
+// (ctx, src, tag). Caller holds m.mu. Wire-delivered messages carry the
+// sender's wall-clock timestamp; the send→match delta is the wire latency a
+// receiver actually experienced (transport plus any time the message sat
+// unmatched), recorded here so every Recv/Wait/collective leg feeds the
+// histogram without instrumenting each call site. Wall clocks across
+// processes can skew; a negative delta clamps to zero rather than
+// corrupting the distribution.
 func (m *mailbox) match(ctx int64, src, tag int) (message, bool) {
 	for i, msg := range m.pending {
 		if msg.ctx != ctx {
@@ -150,6 +159,13 @@ func (m *mailbox) match(ctx int64, src, tag int) (message, bool) {
 			continue
 		}
 		m.pending = append(m.pending[:i], m.pending[i+1:]...)
+		if msg.sentNs != 0 && m.lat != nil {
+			d := time.Now().UnixNano() - msg.sentNs
+			if d < 0 {
+				d = 0
+			}
+			m.lat.Observe(d)
+		}
 		return msg, true
 	}
 	return message{}, false
@@ -204,7 +220,29 @@ type World struct {
 	BytesSent atomic.Int64
 	// Number of point-to-point messages posted by local ranks.
 	MsgsSent atomic.Int64
+
+	metrics *obs.Registry  // world-scoped metric registry (never nil)
+	wireLat *obs.Histogram // wire send→match latency in ns, local mailboxes only
 }
+
+// initMetrics sets up the world's metric registry and the wire-latency
+// histogram shared by every local mailbox. Every rank's histogram uses
+// obs.LatencyBuckets, so per-process counts merge with one SumI64 reduction
+// (see WireLatencySummary).
+func (w *World) initMetrics() {
+	w.metrics = obs.NewRegistry()
+	w.wireLat = w.metrics.Histogram("wire.latency_ns", obs.LatencyBuckets)
+	for _, b := range w.boxes {
+		if b != nil {
+			b.lat = w.wireLat
+		}
+	}
+}
+
+// Metrics returns the world's metric registry. It always exists; the wire
+// transport feeds "wire.latency_ns", and callers may register their own
+// run-level metrics alongside.
+func (w *World) Metrics() *obs.Registry { return w.metrics }
 
 // NewWorld creates a world with the given number of ranks, all hosted in
 // this process as goroutines (the inproc reference transport).
@@ -220,6 +258,7 @@ func NewWorld(size int) *World {
 		w.local[i] = i
 	}
 	w.sent = make([]commStat, size)
+	w.initMetrics()
 	return w
 }
 
@@ -489,7 +528,9 @@ func (c *Comm) recv(src, tag int) any {
 	if inj := fault.Armed(); inj != nil {
 		inj.Hit(fault.PointRecv, c.worldRank(c.rank), -1)
 	}
+	t0 := obs.Begin()
 	msg, err := c.world.boxes[c.worldRank(c.rank)].take(c.ctx, src, tag, c.world.Timeout())
+	obs.End(c.worldRank(c.rank), obs.SpanRecv, t0)
 	if err != nil {
 		panic(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hacc/internal/fault"
+	"hacc/internal/obs"
 )
 
 // Non-blocking point-to-point API. Sends in this runtime are eager (the
@@ -95,7 +96,9 @@ func (r *Request) WaitTimeout(timeout time.Duration) error {
 	if timeout <= 0 {
 		timeout = r.c.world.Timeout()
 	}
+	t0 := obs.Begin()
 	msg, err := r.c.world.boxes[r.c.worldRank(r.c.rank)].take(r.c.ctx, r.src, r.tag, timeout)
+	obs.End(r.c.worldRank(r.c.rank), obs.SpanWait, t0)
 	if err != nil {
 		return err
 	}

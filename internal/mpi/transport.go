@@ -71,6 +71,7 @@ func (t *wireTransport) send(dst int, ctx int64, src, tag int, payload []byte) e
 	}
 	return pc.writeFrame(frameHeader{
 		kind: frameData, ctx: ctx, src: int64(src), tag: int64(tag), dst: int64(dst),
+		sendNs: time.Now().UnixNano(),
 	}, payload)
 }
 
@@ -136,7 +137,7 @@ func (t *wireTransport) readLoop(pc *peerConn, br *bufio.Reader) {
 					t.self, dst, pc.rank), false)
 				return
 			}
-			t.w.boxes[dst].put(message{ctx: h.ctx, src: int(h.src), tag: int(h.tag), payload: rawPayload(payload)})
+			t.w.boxes[dst].put(message{ctx: h.ctx, src: int(h.src), tag: int(h.tag), payload: rawPayload(payload), sentNs: h.sendNs})
 		case frameAbort:
 			t.w.abortInternal(string(payload), false)
 			// Keep draining until the peer closes; the abort already woke

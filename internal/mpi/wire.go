@@ -19,7 +19,8 @@ type rawPayload []byte
 
 // FrameHeaderSize is the fixed per-message framing overhead of the wire
 // transport in bytes: magic, kind, context, source, tag, destination,
-// payload length, and a CRC-32C covering header and payload.
+// payload length, the sender's wall-clock timestamp, and a CRC-32C covering
+// header and payload.
 const FrameHeaderSize = 48
 
 const (
@@ -40,13 +41,20 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // frameHeader is the decoded fixed-size frame prefix. dst is the world rank
 // of the receiving mailbox; src is the sender's rank *within the message's
 // communicator* (matching happens on comm ranks, exactly like the inproc
-// mailbox path).
+// mailbox path). sendNs is the sender's wall-clock time (UnixNano) at frame
+// construction — wall clock, not monotonic, because monotonic readings are
+// not comparable across processes; the receiver's mailbox turns
+// now − sendNs into the wire send→match latency histogram. src/tag/dst fit
+// in 32 bits (ranks are small; tags include small negative collective
+// reserved tags) and are sign-extended through uint32 on the wire, which is
+// what frees the 8 bytes for the timestamp without growing the header.
 type frameHeader struct {
-	kind int
-	ctx  int64
-	src  int64
-	tag  int64
-	dst  int64
+	kind   int
+	ctx    int64
+	src    int64
+	tag    int64
+	dst    int64
+	sendNs int64
 }
 
 // putFrame encodes the header for payload into hdr (FrameHeaderSize bytes),
@@ -55,10 +63,12 @@ func putFrame(hdr []byte, h frameHeader, payload []byte) {
 	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(h.kind))
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(h.ctx))
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(h.src))
-	binary.LittleEndian.PutUint64(hdr[24:], uint64(h.tag))
-	binary.LittleEndian.PutUint64(hdr[32:], uint64(h.dst))
-	binary.LittleEndian.PutUint32(hdr[40:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(int32(h.src)))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(int32(h.tag)))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(int32(h.dst)))
+	binary.LittleEndian.PutUint32(hdr[28:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(h.sendNs))
+	binary.LittleEndian.PutUint32(hdr[40:], 0) // reserved
 	crc := crc32.Update(0, castagnoli, hdr[:44])
 	crc = crc32.Update(crc, castagnoli, payload)
 	binary.LittleEndian.PutUint32(hdr[44:], crc)
@@ -75,13 +85,14 @@ func readFrame(r io.Reader) (frameHeader, []byte, error) {
 		return frameHeader{}, nil, fmt.Errorf("mpi: bad frame magic %#x", m)
 	}
 	h := frameHeader{
-		kind: int(binary.LittleEndian.Uint32(hdr[4:])),
-		ctx:  int64(binary.LittleEndian.Uint64(hdr[8:])),
-		src:  int64(binary.LittleEndian.Uint64(hdr[16:])),
-		tag:  int64(binary.LittleEndian.Uint64(hdr[24:])),
-		dst:  int64(binary.LittleEndian.Uint64(hdr[32:])),
+		kind:   int(binary.LittleEndian.Uint32(hdr[4:])),
+		ctx:    int64(binary.LittleEndian.Uint64(hdr[8:])),
+		src:    int64(int32(binary.LittleEndian.Uint32(hdr[16:]))),
+		tag:    int64(int32(binary.LittleEndian.Uint32(hdr[20:]))),
+		dst:    int64(int32(binary.LittleEndian.Uint32(hdr[24:]))),
+		sendNs: int64(binary.LittleEndian.Uint64(hdr[32:])),
 	}
-	n := binary.LittleEndian.Uint32(hdr[40:])
+	n := binary.LittleEndian.Uint32(hdr[28:])
 	if n > maxFramePayload {
 		return frameHeader{}, nil, fmt.Errorf("mpi: frame payload length %d exceeds limit", n)
 	}

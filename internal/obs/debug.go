@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The debug endpoint's live inputs: the registry and journal path are set
+// by whoever owns the run (core/haccsim) and swapped atomically, so a
+// supervised restart can repoint the handler at the new attempt's state
+// without restarting the listener.
+var (
+	debugReg     atomic.Pointer[Registry]
+	debugJournal atomic.Pointer[string]
+
+	debugMu   sync.Mutex
+	debugLn   net.Listener
+	debugAddr string
+)
+
+// SetDebugRegistry points /debug/metrics at a registry.
+func SetDebugRegistry(r *Registry) { debugReg.Store(r) }
+
+// SetDebugJournal points /debug/journal at a journal file.
+func SetDebugJournal(path string) { debugJournal.Store(&path) }
+
+// DebugHandler returns the debug mux: net/http/pprof under /debug/pprof/,
+// the metrics registry snapshot at /debug/metrics, and the journal tail at
+// /debug/journal?n=N. The handlers are wired explicitly onto a private mux;
+// nothing is served from http.DefaultServeMux.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r := debugReg.Load()
+		if r == nil {
+			fmt.Fprintln(w, "[]")
+			return
+		}
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/journal", func(w http.ResponseWriter, req *http.Request) {
+		n := 50
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		p := debugJournal.Load()
+		if p == nil || *p == "" {
+			http.Error(w, "no journal configured (run with tracing enabled)", http.StatusNotFound)
+			return
+		}
+		lines, err := TailJournal(*p, n)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "hacc debug endpoint\n\n"+
+			"/debug/metrics      metrics registry snapshot (JSON)\n"+
+			"/debug/journal?n=N  last N run-journal records (JSONL)\n"+
+			"/debug/pprof/       Go runtime profiles\n")
+	})
+	return mux
+}
+
+// EnableDebug starts the debug HTTP listener on addr (e.g. "127.0.0.1:6060"
+// or ":0") and returns the bound address. Idempotent per process: a second
+// call returns the already-bound address without touching the first
+// listener, so a supervised restart of the run body cannot fail on a port
+// already in use. The server lives until DisableDebug or process exit.
+func EnableDebug(addr string) (string, error) {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	if debugLn != nil {
+		return debugAddr, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	debugLn = ln
+	debugAddr = ln.Addr().String()
+	srv := &http.Server{Handler: DebugHandler()}
+	go srv.Serve(ln)
+	return debugAddr, nil
+}
+
+// DisableDebug stops the debug listener (tests; production runs leave it up
+// for the life of the process).
+func DisableDebug() {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	if debugLn != nil {
+		debugLn.Close()
+		debugLn = nil
+		debugAddr = ""
+	}
+}

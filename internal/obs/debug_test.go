@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDebugHandlerMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wire.msgs").Add(42)
+	SetDebugRegistry(r)
+	defer SetDebugRegistry(nil)
+
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	var snap []MetricSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 1 || snap[0].Name != "wire.msgs" || snap[0].Value != 42 {
+		t.Fatalf("metrics = %+v", snap)
+	}
+}
+
+func TestDebugHandlerJournal(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		j.Record(StepRecord{Kind: "step", Step: i})
+	}
+	j.Close()
+	SetDebugJournal(j.Path())
+	defer SetDebugJournal("")
+
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/journal?n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("journal status = %d: %s", resp.StatusCode, body)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("journal tail returned %d lines, want 2: %q", len(lines), body)
+	}
+	if !strings.Contains(lines[1], `"step":5`) {
+		t.Fatalf("tail is not the newest records: %q", lines[1])
+	}
+
+	if resp, err := http.Get(srv.URL + "/debug/journal?n=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad n status = %d, want 400", resp.StatusCode)
+		}
+	}
+
+	SetDebugJournal("")
+	if resp, err := http.Get(srv.URL + "/debug/journal"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unset journal status = %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+func TestDebugHandlerIndexAndPprof(t *testing.T) {
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "/debug/pprof/") {
+		t.Fatalf("index does not list endpoints: %q", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/no/such/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestEnableDebugIdempotent(t *testing.T) {
+	addr, err := EnableDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer DisableDebug()
+	again, err := EnableDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != addr {
+		t.Fatalf("second EnableDebug bound %q, first was %q", again, addr)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live endpoint status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Path() != JournalPath(dir, 2) {
+		t.Fatalf("Path() = %q, want %q", j.Path(), JournalPath(dir, 2))
+	}
+	recs := []any{
+		StepRecord{Kind: "step", Step: 1, A: 0.2, Da: 0.05, WallMs: 12.5,
+			PhaseMs: map[string]float64{"fft": 3.0}, Imbalance: 1.1},
+		CheckpointRecord{Kind: "checkpoint", Step: 1, Dir: "ckpt", OK: true, Retries: 2},
+		IncidentRecord{Kind: "incident", Attempt: 1, Class: "panic", Err: "boom",
+			Resume: "restart", Quarantined: []string{"ckpt.bad"}, BackoffMs: 50},
+	}
+	for _, r := range recs {
+		if err := j.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines, err := TailJournal(j.Path(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d lines, want 3", len(lines))
+	}
+	kinds := []string{"step", "checkpoint", "incident"}
+	for i, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		if m["kind"] != kinds[i] {
+			t.Fatalf("line %d kind = %v, want %s", i, m["kind"], kinds[i])
+		}
+	}
+
+	// Tail shorter than the file returns the newest records.
+	tail, err := TailJournal(j.Path(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 1 || !strings.Contains(tail[0], "incident") {
+		t.Fatalf("tail(1) = %v, want the incident line", tail)
+	}
+}
+
+// A reopened journal appends — a supervised restart extends the history
+// instead of truncating it.
+func TestJournalAppendAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(StepRecord{Kind: "step", Step: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Record(StepRecord{Kind: "step", Step: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	lines, err := TailJournal(JournalPath(dir, 0), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("reopened journal has %d lines, want 2", len(lines))
+	}
+}
+
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	if j.Path() != "" {
+		t.Fatal("nil journal has a path")
+	}
+	if err := j.Record(StepRecord{}); err != nil {
+		t.Fatalf("nil Record errored: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("nil Close errored: %v", err)
+	}
+}
+
+func TestJournalRecordAfterClose(t *testing.T) {
+	j, err := OpenJournal(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Record(StepRecord{}); err == nil {
+		t.Fatal("Record on a closed journal succeeded")
+	}
+}
+
+func TestJournalConcurrentRecord(t *testing.T) {
+	j, err := OpenJournal(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := j.Record(StepRecord{Kind: "step", Step: w*100 + i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	j.Close()
+	lines, err := TailJournal(j.Path(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 200 {
+		t.Fatalf("journal has %d lines, want 200", len(lines))
+	}
+	for i, l := range lines {
+		if !json.Valid([]byte(l)) {
+			t.Fatalf("line %d corrupted by concurrent writes: %q", i, l)
+		}
+	}
+}
+
+func TestTailJournalEdgeCases(t *testing.T) {
+	if lines, err := TailJournal("anything", 0); err != nil || lines != nil {
+		t.Fatalf("tail(0) = %v, %v; want nil, nil", lines, err)
+	}
+	if _, err := TailJournal("/nonexistent/journal.jsonl", 5); err == nil {
+		t.Fatal("tail of a missing file succeeded")
+	}
+}

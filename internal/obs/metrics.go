@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value float64 metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket int64 distribution. Bucket i counts
+// observations v ≤ bounds[i] (with everything below bounds[0] in bucket 0);
+// the final slot counts the overflow above the last bound. Bounds are fixed
+// at creation, so per-rank count arrays from histograms built with the same
+// bounds merge element-wise — one collective SumI64 reduction yields the
+// global distribution. Observe is allocation-free: a binary search over the
+// bounds plus two atomic adds.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %d after %d",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v > h.bounds[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+}
+
+// Bounds returns the bucket upper bounds (caller must not modify).
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// Buckets returns the number of count slots (len(Bounds())+1, the last
+// being overflow).
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Snapshot appends the current per-bucket counts to dst and returns it.
+func (h *Histogram) Snapshot(dst []int64) []int64 {
+	for i := range h.counts {
+		dst = append(dst, h.counts[i].Load())
+	}
+	return dst
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// ExpBuckets returns n doubling upper bounds starting at start:
+// start, 2·start, 4·start, …
+func ExpBuckets(start int64, n int) []int64 {
+	if start <= 0 || n <= 0 {
+		panic("obs: ExpBuckets needs positive start and count")
+	}
+	b := make([]int64, n)
+	for i := range b {
+		b[i] = start << uint(i)
+	}
+	return b
+}
+
+// LatencyBuckets are the wire-latency histogram bounds in nanoseconds:
+// doubling from 1µs to ~2s. Shared by every rank's histogram so the
+// per-rank counts merge with one reduction.
+var LatencyBuckets = ExpBuckets(1024, 22)
+
+// QuantileFromCounts returns the q-quantile (0 < q ≤ 1) of a bucketed
+// distribution as the upper bound of the bucket holding that rank —
+// conservative within one doubling bucket. counts has len(bounds)+1 slots
+// (NewHistogram's layout, or the element-wise sum of several). Returns 0
+// for an empty distribution; observations in the overflow bucket report
+// twice the last bound.
+func QuantileFromCounts(bounds, counts []int64, q float64) int64 {
+	if len(counts) != len(bounds)+1 {
+		panic(fmt.Sprintf("obs: quantile over %d counts for %d bounds", len(counts), len(bounds)))
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= target {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			return 2 * bounds[len(bounds)-1]
+		}
+	}
+	return 2 * bounds[len(bounds)-1]
+}
+
+// Registry is a typed, name-keyed metric set. Lookups get-or-create under a
+// mutex — callers hold the returned metric across the hot path, so the map
+// is touched only at registration time. A name is bound to one metric kind
+// for the registry's lifetime; re-registering under a different kind (or a
+// histogram under different bounds) panics loudly.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]any
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]any)} }
+
+func (r *Registry) lookup(name string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.m[name]; ok {
+		return v
+	}
+	v := mk()
+	r.m[name] = v
+	return v
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	v := r.lookup(name, func() any { return &Counter{} })
+	c, ok := v.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T, not a counter", name, v))
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	v := r.lookup(name, func() any { return &Gauge{} })
+	g, ok := v.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T, not a gauge", name, v))
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use. A second registration must pass identical bounds.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	v := r.lookup(name, func() any { return NewHistogram(bounds) })
+	h, ok := v.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T, not a histogram", name, v))
+	}
+	if len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with %d bounds, was %d",
+			name, len(bounds), len(h.bounds)))
+	}
+	for i := range bounds {
+		if h.bounds[i] != bounds[i] {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+		}
+	}
+	return h
+}
+
+// MetricSnapshot is one metric's point-in-time state, JSON-shaped for the
+// debug endpoint.
+type MetricSnapshot struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"` // "counter" | "gauge" | "histogram"
+	Value float64 `json:"value,omitempty"`
+	Count int64   `json:"count,omitempty"`
+	Sum   int64   `json:"sum,omitempty"`
+	P50   int64   `json:"p50,omitempty"`
+	P99   int64   `json:"p99,omitempty"`
+}
+
+// Snapshot returns every metric's current state, sorted by name.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.m))
+	for n := range r.m {
+		names = append(names, n)
+	}
+	metrics := make([]any, len(names))
+	sort.Strings(names)
+	for i, n := range names {
+		metrics[i] = r.m[n]
+	}
+	r.mu.Unlock()
+
+	out := make([]MetricSnapshot, 0, len(names))
+	var scratch []int64
+	for i, n := range names {
+		switch v := metrics[i].(type) {
+		case *Counter:
+			out = append(out, MetricSnapshot{Name: n, Kind: "counter", Value: float64(v.Value())})
+		case *Gauge:
+			out = append(out, MetricSnapshot{Name: n, Kind: "gauge", Value: v.Value()})
+		case *Histogram:
+			scratch = v.Snapshot(scratch[:0])
+			out = append(out, MetricSnapshot{
+				Name: n, Kind: "histogram",
+				Count: v.Count(), Sum: v.Sum(),
+				P50: QuantileFromCounts(v.bounds, scratch, 0.50),
+				P99: QuantileFromCounts(v.bounds, scratch, 0.99),
+			})
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the registry snapshot as a JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

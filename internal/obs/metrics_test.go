@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{-5, 0, 10, 11, 100, 500, 1000, 1001, 1 << 40} {
+		h.Observe(v)
+	}
+	want := []int64{3, 2, 2, 2} // ≤10, ≤100, ≤1000, overflow
+	got := h.Snapshot(nil)
+	if len(got) != len(want) {
+		t.Fatalf("snapshot has %d slots, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (snapshot %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count = %d, want 9", h.Count())
+	}
+	if h.Buckets() != 4 {
+		t.Fatalf("buckets = %d, want 4", h.Buckets())
+	}
+}
+
+func TestHistogramObserveAllocFree(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(123456) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]int64{nil, {}, {5, 5}, {10, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1024, 4)
+	want := []int64{1024, 2048, 4096, 8192}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestQuantileFromCounts(t *testing.T) {
+	bounds := []int64{10, 100, 1000}
+	if q := QuantileFromCounts(bounds, []int64{0, 0, 0, 0}, 0.5); q != 0 {
+		t.Fatalf("empty distribution quantile = %d, want 0", q)
+	}
+	// 10 observations in ≤10, 10 in ≤100: p50 lands in the first bucket,
+	// p99 in the second.
+	counts := []int64{10, 10, 0, 0}
+	if q := QuantileFromCounts(bounds, counts, 0.50); q != 10 {
+		t.Fatalf("p50 = %d, want 10", q)
+	}
+	if q := QuantileFromCounts(bounds, counts, 0.99); q != 100 {
+		t.Fatalf("p99 = %d, want 100", q)
+	}
+	// Overflow-only distribution reports 2× the last bound.
+	if q := QuantileFromCounts(bounds, []int64{0, 0, 0, 5}, 0.5); q != 2000 {
+		t.Fatalf("overflow quantile = %d, want 2000", q)
+	}
+}
+
+// Per-rank histograms with shared bounds merge by element-wise count
+// summation — the collective path bench uses over the wire.
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(LatencyBuckets), NewHistogram(LatencyBuckets)
+	for i := 0; i < 100; i++ {
+		a.Observe(2000) // ~2µs
+		b.Observe(2_000_000)
+	}
+	ca, cb := a.Snapshot(nil), b.Snapshot(nil)
+	merged := make([]int64, len(ca))
+	for i := range ca {
+		merged[i] = ca[i] + cb[i]
+	}
+	p50 := QuantileFromCounts(LatencyBuckets, merged, 0.50)
+	p99 := QuantileFromCounts(LatencyBuckets, merged, 0.99)
+	if p50 != 2048 {
+		t.Fatalf("merged p50 = %d, want 2048", p50)
+	}
+	if p99 != 2097152 {
+		t.Fatalf("merged p99 = %d, want 2097152", p99)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("wire.msgs")
+	c.Add(3)
+	if r.Counter("wire.msgs") != c {
+		t.Fatal("second Counter lookup returned a different instance")
+	}
+	g := r.Gauge("sim.a")
+	g.Set(0.25)
+	h := r.Histogram("wire.latency", LatencyBuckets)
+	if r.Histogram("wire.latency", LatencyBuckets) != h {
+		t.Fatal("second Histogram lookup returned a different instance")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Gauge over an existing counter name did not panic")
+			}
+		}()
+		r.Gauge("x")
+	}()
+	r.Histogram("h", []int64{1, 2})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Histogram re-registration with different bounds did not panic")
+			}
+		}()
+		r.Histogram("h", []int64{1, 2, 3})
+	}()
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(7)
+	r.Gauge("a.gauge").Set(1.5)
+	h := r.Histogram("c.hist", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(snap))
+	}
+	if snap[0].Name != "a.gauge" || snap[1].Name != "b.count" || snap[2].Name != "c.hist" {
+		t.Fatalf("snapshot not sorted by name: %+v", snap)
+	}
+	if snap[1].Kind != "counter" || snap[1].Value != 7 {
+		t.Fatalf("counter snapshot wrong: %+v", snap[1])
+	}
+	if snap[2].Kind != "histogram" || snap[2].Count != 2 || snap[2].P50 != 10 {
+		t.Fatalf("histogram snapshot wrong: %+v", snap[2])
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []MetricSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON output does not decode: %v", err)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("decoded %d entries, want 3", len(decoded))
+	}
+}
+
+// Registration and observation from many goroutines must be safe — the
+// registry is shared between the step loop, the transport read loops, and
+// the debug endpoint.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("shared.counter").Add(1)
+				r.Histogram("shared.hist", LatencyBuckets).Observe(int64(i))
+				r.Gauge("shared.gauge").Set(float64(i))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared.counter").Value(); got != 8*500 {
+		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+	if got := r.Histogram("shared.hist", LatencyBuckets).Count(); got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+}
